@@ -1,0 +1,46 @@
+"""Benchmark configuration.
+
+Each benchmark regenerates one paper table/figure at reduced scale
+(smaller n, coarser ε grid, capped workloads — see DESIGN.md §3) and
+prints the series it computed, so `pytest benchmarks/ --benchmark-only`
+doubles as the experiment battery.  Paper-scale runs go through
+``python -m repro.experiments <figure>`` without ``--fast``.
+"""
+
+from pathlib import Path
+
+import pytest
+
+#: Reduced ε grid shared by all benchmarks.
+BENCH_EPSILONS = (0.1, 0.4, 1.6)
+
+#: Reduced dataset size shared by all benchmarks.
+BENCH_N = 2000
+
+#: Rendered series from the current benchmark session (appended per test).
+RESULTS_FILE = Path(__file__).parent / "latest_results.txt"
+
+
+def pytest_sessionstart(session):
+    """Start each benchmark session with a fresh results transcript."""
+    try:
+        RESULTS_FILE.unlink()
+    except FileNotFoundError:
+        pass
+
+
+def run_once(benchmark, fn, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, kwargs=kwargs, rounds=1, iterations=1)
+
+
+def report(rendered: str) -> None:
+    """Print a rendered result and append it to the session transcript.
+
+    pytest captures stdout of passing tests; the transcript file keeps the
+    series inspectable after `pytest benchmarks/ --benchmark-only`.
+    """
+    print()
+    print(rendered)
+    with RESULTS_FILE.open("a") as handle:
+        handle.write(rendered + "\n\n")

@@ -1,0 +1,45 @@
+"""Figure 4: score functions I / R / F vs NoPrivacy (network quality).
+
+Paper shape: F and R consistently beat I on binary data; R beats I on
+general domains; every curve rises with ε toward the NoPrivacy ceiling.
+"""
+
+import numpy as np
+
+from repro.experiments import render_result, run_fig4
+
+from conftest import report, BENCH_EPSILONS, BENCH_N, run_once
+
+
+def test_fig4_nltcs(benchmark):
+    result = run_once(
+        benchmark,
+        run_fig4,
+        dataset="nltcs",
+        epsilons=BENCH_EPSILONS,
+        repeats=3,
+        n=BENCH_N,
+        seed=0,
+    )
+    report(render_result(result))
+    # NoPrivacy is the ceiling at every ε.
+    for name in ("I", "R", "F"):
+        for v, ceiling in zip(result.series[name], result.series["NoPrivacy"]):
+            assert v <= ceiling + 1e-6
+    # The surrogate scores beat raw mutual information on average.
+    assert np.mean(result.series["F"]) >= np.mean(result.series["I"]) - 0.05
+
+
+def test_fig4_br2000(benchmark):
+    result = run_once(
+        benchmark,
+        run_fig4,
+        dataset="br2000",
+        epsilons=BENCH_EPSILONS,
+        repeats=3,
+        n=BENCH_N,
+        seed=0,
+    )
+    report(render_result(result))
+    assert "F" not in result.series  # not computable on general domains
+    assert np.mean(result.series["R"]) >= np.mean(result.series["I"]) - 0.05

@@ -1,0 +1,31 @@
+"""Figure 5: encodings on Adult α-way marginals.
+
+Paper shape: non-binary encodings (Vanilla-R / Hierarchical-R) beat the
+bitwise encodings at small ε; the gap narrows as ε grows.
+"""
+
+import numpy as np
+
+from repro.experiments import render_result, run_encoding_marginals
+
+from conftest import report, BENCH_EPSILONS, BENCH_N, run_once
+
+
+def test_fig5_adult_q2(benchmark):
+    result = run_once(
+        benchmark,
+        run_encoding_marginals,
+        dataset="adult",
+        alpha=2,
+        epsilons=BENCH_EPSILONS,
+        repeats=2,
+        n=BENCH_N,
+        max_marginals=25,
+        seed=0,
+    )
+    report(render_result(result))
+    # Non-binary encodings win at the smallest ε.
+    small_eps = {name: values[0] for name, values in result.series.items()}
+    nonbinary_best = min(small_eps["vanilla-R"], small_eps["hierarchical-R"])
+    bitwise_best = min(small_eps["binary-F"], small_eps["gray-F"])
+    assert nonbinary_best <= bitwise_best + 0.02

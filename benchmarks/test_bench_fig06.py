@@ -1,0 +1,24 @@
+"""Figure 6: encodings on BR2000 α-way marginals (same shape as Figure 5)."""
+
+from repro.experiments import render_result, run_encoding_marginals
+
+from conftest import report, BENCH_EPSILONS, BENCH_N, run_once
+
+
+def test_fig6_br2000_q2(benchmark):
+    result = run_once(
+        benchmark,
+        run_encoding_marginals,
+        dataset="br2000",
+        alpha=2,
+        epsilons=BENCH_EPSILONS,
+        repeats=2,
+        n=BENCH_N,
+        max_marginals=25,
+        seed=0,
+    )
+    report(render_result(result))
+    small_eps = {name: values[0] for name, values in result.series.items()}
+    nonbinary_best = min(small_eps["vanilla-R"], small_eps["hierarchical-R"])
+    bitwise_best = min(small_eps["binary-F"], small_eps["gray-F"])
+    assert nonbinary_best <= bitwise_best + 0.02

@@ -1,0 +1,27 @@
+"""Figure 7: encodings on Adult SVM tasks.
+
+Paper shape: Hierarchical-R is the best (or tied-best) overall performer.
+"""
+
+import numpy as np
+
+from repro.experiments import render_result, run_encoding_svm
+
+from conftest import report, BENCH_EPSILONS, BENCH_N, run_once
+
+
+def test_fig7_adult_gender(benchmark):
+    result = run_once(
+        benchmark,
+        run_encoding_svm,
+        dataset="adult",
+        task_index=0,  # Y = gender
+        epsilons=BENCH_EPSILONS,
+        repeats=2,
+        n=BENCH_N,
+        seed=0,
+    )
+    report(render_result(result))
+    means = {name: np.mean(values) for name, values in result.series.items()}
+    # Hierarchical-R within reach of the best method on this panel.
+    assert means["hierarchical-R"] <= min(means.values()) + 0.08

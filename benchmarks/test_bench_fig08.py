@@ -1,0 +1,23 @@
+"""Figure 8: encodings on BR2000 SVM tasks (same shape as Figure 7)."""
+
+import numpy as np
+
+from repro.experiments import render_result, run_encoding_svm
+
+from conftest import report, BENCH_EPSILONS, BENCH_N, run_once
+
+
+def test_fig8_br2000_religion(benchmark):
+    result = run_once(
+        benchmark,
+        run_encoding_svm,
+        dataset="br2000",
+        task_index=0,  # Y = religion
+        epsilons=BENCH_EPSILONS,
+        repeats=2,
+        n=BENCH_N,
+        seed=0,
+    )
+    report(render_result(result))
+    means = {name: np.mean(values) for name, values in result.series.items()}
+    assert means["hierarchical-R"] <= min(means.values()) + 0.08

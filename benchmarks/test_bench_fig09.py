@@ -1,0 +1,32 @@
+"""Figure 9: choice of β.
+
+Paper shape: error is high at extreme β (tiny → noisy network; huge →
+noisy marginals) with a flat basin roughly in [0.2, 0.5].
+"""
+
+import numpy as np
+
+from repro.experiments import render_result, run_beta_sweep
+
+from conftest import report, BENCH_N, run_once
+
+
+def test_fig9_nltcs_q4(benchmark):
+    result = run_once(
+        benchmark,
+        run_beta_sweep,
+        dataset="nltcs",
+        kind="count",
+        betas=(0.01, 0.1, 0.3, 0.7, 0.9),
+        epsilons=(0.2, 1.6),
+        repeats=2,
+        n=BENCH_N,
+        max_marginals=20,
+        seed=0,
+    )
+    report(render_result(result))
+    # The basin value (β=0.3) should not be the worst point of the sweep.
+    for values in result.series.values():
+        basin = values[2]
+        assert basin <= max(values) + 1e-9
+        assert basin <= np.mean([values[0], values[-1]]) + 0.05

@@ -1,0 +1,30 @@
+"""Figure 10: choice of θ.
+
+Paper shape: performance is stable across a wide θ range, with a
+near-optimal basin around [3, 6].
+"""
+
+import numpy as np
+
+from repro.experiments import render_result, run_theta_sweep
+
+from conftest import report, BENCH_N, run_once
+
+
+def test_fig10_nltcs_q4(benchmark):
+    result = run_once(
+        benchmark,
+        run_theta_sweep,
+        dataset="nltcs",
+        kind="count",
+        thetas=(0.5, 2.0, 4.0, 8.0),
+        epsilons=(0.2, 1.6),
+        repeats=2,
+        n=BENCH_N,
+        max_marginals=20,
+        seed=0,
+    )
+    report(render_result(result))
+    # θ=4 (index 2) is within tolerance of the sweep's best point.
+    for values in result.series.values():
+        assert values[2] <= min(values) + 0.08

@@ -1,0 +1,31 @@
+"""Figure 11: source of error (BestNetwork / BestMarginal diagnostics).
+
+Paper shape: on counting tasks BestMarginal clearly beats PrivBayes (the
+marginal noise dominates), while BestNetwork tracks PrivBayes closely.
+"""
+
+import numpy as np
+
+from repro.experiments import render_result, run_error_source
+
+from conftest import report, BENCH_EPSILONS, BENCH_N, run_once
+
+
+def test_fig11_nltcs_count(benchmark):
+    result = run_once(
+        benchmark,
+        run_error_source,
+        dataset="nltcs",
+        kind="count",
+        epsilons=BENCH_EPSILONS,
+        repeats=3,
+        n=BENCH_N,
+        max_marginals=20,
+        seed=0,
+    )
+    report(render_result(result))
+    pb = np.mean(result.series["PrivBayes"])
+    best_marginal = np.mean(result.series["BestMarginal"])
+    best_network = np.mean(result.series["BestNetwork"])
+    assert best_marginal <= pb + 1e-6
+    assert best_network <= pb + 0.05  # network noise is the smaller term

@@ -1,0 +1,25 @@
+"""Figure 14: Q2/Q3 marginals on Adult vs Laplace/Fourier/Uniform."""
+
+from repro.experiments import render_result, run_marginals_comparison
+
+from conftest import report, BENCH_EPSILONS, BENCH_N, run_once
+
+
+def test_fig14_adult_q2(benchmark):
+    result = run_once(
+        benchmark,
+        run_marginals_comparison,
+        dataset="adult",
+        alpha=2,
+        epsilons=BENCH_EPSILONS,
+        repeats=2,
+        n=BENCH_N,
+        max_marginals=20,
+        seed=0,
+    )
+    report(render_result(result))
+    assert "Contingency" not in result.series  # does not scale to Adult
+    small = {name: values[0] for name, values in result.series.items()}
+    for name, value in small.items():
+        if name != "PrivBayes":
+            assert small["PrivBayes"] <= value + 0.02, name

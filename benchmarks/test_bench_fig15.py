@@ -1,0 +1,24 @@
+"""Figure 15: Q2/Q3 marginals on BR2000 vs Laplace/Fourier/Uniform."""
+
+from repro.experiments import render_result, run_marginals_comparison
+
+from conftest import report, BENCH_EPSILONS, BENCH_N, run_once
+
+
+def test_fig15_br2000_q2(benchmark):
+    result = run_once(
+        benchmark,
+        run_marginals_comparison,
+        dataset="br2000",
+        alpha=2,
+        epsilons=BENCH_EPSILONS,
+        repeats=2,
+        n=BENCH_N,
+        max_marginals=20,
+        seed=0,
+    )
+    report(render_result(result))
+    small = {name: values[0] for name, values in result.series.items()}
+    for name, value in small.items():
+        if name != "PrivBayes":
+            assert small["PrivBayes"] <= value + 0.02, name

@@ -1,0 +1,45 @@
+"""Shared data builders for the ablation benchmarks (not a test module)."""
+
+import numpy as np
+
+from repro.data.attribute import Attribute, discretize_continuous
+from repro.data.table import Table
+from repro.multitable import LinkedTables
+
+
+def build_household_linked(n_households: int, seed: int) -> LinkedTables:
+    """Households linked to vehicles (same shape as the Section 7 example)."""
+    rng = np.random.default_rng(seed)
+    region = rng.integers(0, 4, n_households)
+    income = np.exp(rng.normal(10.0 + 0.2 * (region == 0), 0.6, n_households))
+    income_attr, income_codes = discretize_continuous(
+        "income", income, low=0, high=120_000
+    )
+    urban = (rng.random(n_households) < 0.7).astype(np.int64)
+    primary = Table(
+        [
+            Attribute("region", ("north", "east", "south", "west")),
+            income_attr,
+            Attribute.binary("urban"),
+        ],
+        {"region": region, "income": income_codes, "urban": urban},
+    )
+    rate = np.clip(0.2 + income / 60_000 - 0.3 * urban, 0.05, 3.5)
+    fanout = rng.poisson(rate)
+    owners = np.repeat(np.arange(n_households), fanout)
+    total = owners.size
+    owner_income = income[owners]
+    kind = np.where(
+        rng.random(total) < np.clip(owner_income / 90_000, 0.05, 0.9),
+        2,
+        np.where(rng.random(total) < 0.75, 1, 0),
+    ).astype(np.int64)
+    age = np.minimum(rng.poisson(9 - 4 * (owner_income > 50_000)), 15)
+    child = Table(
+        [
+            Attribute("kind", ("motorbike", "sedan", "suv")),
+            Attribute("age_years", tuple(str(y) for y in range(16))),
+        ],
+        {"kind": kind, "age_years": age},
+    )
+    return LinkedTables(primary, child, owners)

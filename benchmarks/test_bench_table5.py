@@ -1,0 +1,14 @@
+"""Table 5: dataset characteristics (generated vs paper)."""
+
+from repro.experiments.table5 import render_table5, run_table5
+
+from conftest import report, run_once
+
+
+def test_table5(benchmark):
+    rows = run_once(benchmark, run_table5, n=None, seed=0)
+    report(render_table5(rows))
+    for name, row in rows.items():
+        assert row["cardinality"] == row["paper_cardinality"]
+        assert row["dimensionality"] == row["paper_dimensionality"]
+        assert abs(row["log2_domain"] - row["paper_log2_domain"]) <= 3.0

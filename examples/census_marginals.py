@@ -1,0 +1,63 @@
+"""Releasing census data for count-query workloads (the Figure 14 scenario).
+
+A statistics bureau wants to publish Adult-like census data so that
+analysts can evaluate arbitrary 2-way count queries.  This example
+releases the data with PrivBayes and with the direct Laplace baseline at
+several privacy budgets, and reports the average total-variation distance
+over the Q2 workload — the exact protocol of Section 6.5.
+
+Run with::
+
+    python examples/census_marginals.py
+"""
+
+import numpy as np
+
+from repro.baselines import LaplaceMarginals, UniformMarginals
+from repro.datasets import load_adult
+from repro.release import release_synthetic
+from repro.workloads import (
+    all_alpha_marginals,
+    average_variation_distance,
+    synthetic_marginals,
+)
+
+
+def main() -> None:
+    table = load_adult(n=10_000, seed=3)
+    workload = all_alpha_marginals(table, 2)
+    print(f"workload: all {len(workload)} two-way marginals of Adult")
+
+    epsilons = (0.1, 0.4, 1.6)
+    print(f"\n{'epsilon':<10}{'PrivBayes':>12}{'Laplace':>12}{'Uniform':>12}")
+    for epsilon in epsilons:
+        rng = np.random.default_rng(11)
+        synthetic = release_synthetic(
+            table, epsilon, method="hierarchical-R", rng=rng
+        )
+        privbayes_err = average_variation_distance(
+            table, synthetic_marginals(synthetic, workload), workload
+        )
+        laplace_err = average_variation_distance(
+            table,
+            LaplaceMarginals().release(table, workload, epsilon, rng),
+            workload,
+        )
+        uniform_err = average_variation_distance(
+            table,
+            UniformMarginals().release(table, workload, epsilon, rng),
+            workload,
+        )
+        print(
+            f"{epsilon:<10}{privbayes_err:>12.4f}{laplace_err:>12.4f}"
+            f"{uniform_err:>12.4f}"
+        )
+    print(
+        "\nPrivBayes splits its budget over d low-dimensional marginals "
+        "once;\nLaplace must split over all C(d,2) workload marginals, so "
+        "it degrades\nfaster as the budget shrinks or the workload grows."
+    )
+
+
+if __name__ == "__main__":
+    main()

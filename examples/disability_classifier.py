@@ -1,0 +1,58 @@
+"""Training classifiers on privately released health data (Figure 16).
+
+The NLTCS disability survey is sensitive health data.  This example
+releases it with PrivBayes, trains SVM classifiers for all four Section
+6.1 prediction tasks on the *synthetic* data, and evaluates them on real
+held-out rows — the key property being that one release supports many
+downstream analyses without extra privacy cost.
+
+Run with::
+
+    python examples/disability_classifier.py
+"""
+
+import numpy as np
+
+from repro.core.privbayes import PrivBayes
+from repro.datasets import load_nltcs
+from repro.svm import LinearSVM, featurize, misclassification_rate
+from repro.workloads import tasks_for
+
+
+def main() -> None:
+    rng = np.random.default_rng(23)
+    table = load_nltcs(n=12_000, seed=23)
+    train, test = table.split(0.8, rng)
+    print(f"train: {train.n} rows, test: {test.n} rows")
+
+    epsilon = 1.0
+    synthetic = PrivBayes(epsilon=epsilon, score="F", mode="binary").fit_sample(
+        train, rng=rng
+    )
+    print(f"released one synthetic dataset at ε = {epsilon}\n")
+
+    header = f"{'task':<18}{'NoPrivacy':>12}{'PrivBayes':>12}{'Majority':>12}"
+    print(header)
+    for task in tasks_for("nltcs", table):
+        X_train, y_train = featurize(train, task)
+        X_test, y_test = featurize(test, task)
+        X_syn, y_syn = featurize(synthetic, task)
+
+        floor = misclassification_rate(
+            LinearSVM().fit(X_train, y_train), X_test, y_test
+        )
+        private = misclassification_rate(
+            LinearSVM().fit(X_syn, y_syn), X_test, y_test
+        )
+        majority = min((y_test > 0).mean(), (y_test < 0).mean())
+        print(f"{task.name:<18}{floor:>12.3f}{private:>12.3f}{majority:>12.3f}")
+
+    print(
+        "\nAll four classifiers came from the SAME ε-DP release — "
+        "comparators like\nPrivateERM would have had to split ε across the "
+        "four tasks (Section 6.6)."
+    )
+
+
+if __name__ == "__main__":
+    main()

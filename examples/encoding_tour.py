@@ -1,0 +1,62 @@
+"""Tour of the four attribute encodings (Section 5.1, Figures 2-3).
+
+Shows how one categorical attribute looks under each encoding, then
+compares the end-to-end utility of the four ``<Encoding>-<Score>`` methods
+on BR2000 two-way marginals — the Figure 6 protocol in miniature.
+
+Run with::
+
+    python examples/encoding_tour.py
+"""
+
+import numpy as np
+
+from repro.datasets import load_br2000
+from repro.encoding import make_encoder
+from repro.release import METHODS, release_synthetic
+from repro.workloads import (
+    all_alpha_marginals,
+    average_variation_distance,
+    synthetic_marginals,
+)
+
+
+def show_encodings(table) -> None:
+    attr = table.attribute("religion")
+    print(f"attribute {attr.name!r}: {attr.size} values")
+    print("  vanilla      : kept whole:", ", ".join(attr.values[:4]), "...")
+    print(
+        "  hierarchical : taxonomy levels:",
+        " -> ".join(
+            f"{attr.taxonomy.level_size(i)} values"
+            for i in range(attr.taxonomy.height)
+        ),
+    )
+    encoded = make_encoder("binary").encode(table.project(["religion"]))
+    print(f"  binary/gray  : split into {encoded.d} bit attributes:",
+          ", ".join(encoded.attribute_names))
+
+
+def main() -> None:
+    table = load_br2000(n=8_000, seed=5)
+    show_encodings(table)
+
+    workload = all_alpha_marginals(table, 2)
+    epsilon = 0.2
+    print(f"\nQ2 average variation distance at ε = {epsilon}:")
+    for method in METHODS:
+        rng = np.random.default_rng(31)
+        synthetic = release_synthetic(table, epsilon, method=method, rng=rng)
+        err = average_variation_distance(
+            table, synthetic_marginals(synthetic, workload), workload
+        )
+        print(f"  {method:<16} {err:.4f}")
+    print(
+        "\nAt small ε the bitwise encodings pay for their redundant bit "
+        "attributes;\nvanilla/hierarchical keep attribute semantics intact "
+        "(Section 6.3)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,104 @@
+"""Two-table release: households and their vehicles (Section 7 extension).
+
+The paper's concluding remarks name multi-table schemas as the natural
+next step, warning that an individual's impact — and hence the noise —
+grows with their fan-out.  This example releases a household table linked
+to a vehicles table under one end-to-end ε, showing the three budget
+components (primary model, fanout histogram, group-privacy-scaled child
+model) and the utility that survives.
+
+Run with::
+
+    python examples/household_vehicles.py
+"""
+
+import numpy as np
+
+from repro.data.attribute import Attribute, discretize_continuous
+from repro.data.table import Table
+from repro.infotheory.measures import mutual_information_from_table
+from repro.metrics import utility_report
+from repro.multitable import LinkedTables, release_two_tables
+
+
+def build_linked(n_households: int, seed: int) -> LinkedTables:
+    """Synthetic household census: income drives vehicle count and kind."""
+    rng = np.random.default_rng(seed)
+    region = rng.integers(0, 4, n_households)
+    income = np.exp(rng.normal(10.0 + 0.2 * (region == 0), 0.6, n_households))
+    income_attr, income_codes = discretize_continuous(
+        "income", income, low=0, high=120_000
+    )
+    urban = (rng.random(n_households) < 0.7).astype(np.int64)
+    households = Table(
+        [
+            Attribute("region", ("north", "east", "south", "west")),
+            income_attr,
+            Attribute.binary("urban"),
+        ],
+        {"region": region, "income": income_codes, "urban": urban},
+    )
+    rate = np.clip(0.2 + income / 60_000 - 0.3 * urban, 0.05, 3.5)
+    fanout = rng.poisson(rate)
+    owners = np.repeat(np.arange(n_households), fanout)
+    total = owners.size
+    owner_income = income[owners]
+    kind = np.where(
+        rng.random(total) < np.clip(owner_income / 90_000, 0.05, 0.9),
+        2,  # suv
+        np.where(rng.random(total) < 0.75, 1, 0),  # sedan | motorbike
+    ).astype(np.int64)
+    age = np.minimum(rng.poisson(9 - 4 * (owner_income > 50_000)), 15)
+    vehicles = Table(
+        [
+            Attribute("kind", ("motorbike", "sedan", "suv")),
+            Attribute("age_years", tuple(str(y) for y in range(16))),
+        ],
+        {"kind": kind, "age_years": age},
+    )
+    return LinkedTables(households, vehicles, owners)
+
+
+def main() -> None:
+    rng = np.random.default_rng(41)
+    linked = build_linked(8_000, seed=41)
+    print(
+        f"input: {linked.n_individuals} households, "
+        f"{linked.n_child_rows} vehicles, max fanout {linked.max_fanout()}"
+    )
+
+    epsilon = 2.0
+    max_fanout = 4
+    release = release_two_tables(
+        linked, epsilon, max_fanout=max_fanout, rng=rng
+    )
+    print(f"\nreleased at end-to-end ε = {epsilon} (fanout bound {max_fanout}):")
+    for label, amount in release.accountant.ledger:
+        print(f"  {label:<55} ε={amount:.3f}")
+
+    synthetic = release.sample(rng=rng)
+    print(
+        f"\nsynthetic: {synthetic.n_individuals} households, "
+        f"{synthetic.n_child_rows} vehicles"
+    )
+    true_mean = linked.truncate(max_fanout).fanout_counts().mean()
+    print(
+        f"mean vehicles/household: true(truncated)={true_mean:.3f} "
+        f"synthetic={synthetic.fanout_counts().mean():.3f}"
+    )
+
+    print("\nhousehold-table utility:")
+    print(utility_report(linked.primary, synthetic.primary).render())
+
+    mi_true = mutual_information_from_table(linked.child, "age_years", ["kind"])
+    mi_syn = mutual_information_from_table(synthetic.child, "age_years", ["kind"])
+    print(
+        f"\nvehicle kind/age correlation: I={mi_true:.3f} (true) vs "
+        f"I={mi_syn:.3f} (synthetic)\n"
+        "note the child model pays a 1/max_fanout budget factor — the "
+        "noise growth\nthe paper's Section 7 warns about, made explicit."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+"""Quickstart: release a differentially private synthetic dataset.
+
+Loads a (generated) Adult census table, runs PrivBayes with a total budget
+of ε = 1.0, and checks how well a couple of low-dimensional statistics
+survive the release.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import PrivBayes
+from repro.datasets import load_adult
+from repro.data.marginals import joint_distribution
+from repro.infotheory.measures import total_variation_distance
+
+
+def main() -> None:
+    rng = np.random.default_rng(7)
+
+    # The sensitive input: 10,000 census rows (schema-faithful generator).
+    table = load_adult(n=10_000, seed=7)
+    print(f"input: n={table.n}, d={table.d} attributes")
+    print(f"attributes: {', '.join(table.attribute_names)}")
+
+    # One call: learn a private Bayesian network, learn noisy conditionals,
+    # sample a synthetic table of the same size and schema.
+    pipeline = PrivBayes(epsilon=1.0)  # beta=0.3, theta=4 (paper defaults)
+    synthetic = pipeline.fit_sample(table, rng=rng)
+    print(f"\nsynthetic release: n={synthetic.n} rows, same schema")
+    print("first rows:", *synthetic.decoded_records(limit=2), sep="\n  ")
+
+    # How much utility survived?  Compare a few one- and two-way marginals.
+    print("\ntotal variation distance (true vs synthetic marginal):")
+    for names in [("sex",), ("salary",), ("education", "salary"),
+                  ("age", "marital_status")]:
+        truth = joint_distribution(table, list(names))
+        released = joint_distribution(synthetic, list(names))
+        tvd = total_variation_distance(truth, released)
+        print(f"  {' x '.join(names):<28} {tvd:.4f}")
+
+    # The ledger shows where the ε went (Theorem 3.2: it sums to ε).
+    model = pipeline.fit(table, rng=rng)
+    print("\nprivacy ledger (one fit):")
+    for label, amount in model.accountant.ledger[:5]:
+        print(f"  {label:<45} ε={amount:.4f}")
+    print(f"  ... total spent: ε={model.accountant.spent:.4f}")
+
+
+if __name__ == "__main__":
+    main()

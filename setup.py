@@ -1,0 +1,5 @@
+"""Setuptools shim: enables legacy editable installs in offline environments
+(no `wheel` package available, so the PEP 517 editable hook cannot run)."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,43 @@
+"""Every comparator of Section 6.
+
+Marginal-workload baselines (Figures 12-15), each releasing a noisy
+distribution per workload marginal:
+
+* :class:`LaplaceMarginals` — direct Laplace noise on each α-way marginal.
+* :class:`FourierMarginals` — Barak et al.: noisy Fourier (Walsh-Hadamard)
+  coefficients over the binarized domain.
+* :class:`ContingencyMarginals` — noisy full contingency table, projected.
+* :class:`MWEM` — Hardt-Ligett-McSherry multiplicative weights + EM.
+* :class:`UniformMarginals` — the trivial uniform answer.
+
+Classification baselines (Figures 16-19):
+
+* :func:`majority_classifier` — noisy majority vote.
+* :class:`PrivateERM` — Chaudhuri et al. objective perturbation (Huber SVM).
+* :class:`PrivGene` — Zhang et al. genetic model fitting with the
+  exponential mechanism.
+"""
+
+from repro.baselines.marginal_methods import (
+    ContingencyMarginals,
+    LaplaceMarginals,
+    UniformMarginals,
+)
+from repro.baselines.fourier import FourierMarginals
+from repro.baselines.mwem import MWEM
+from repro.baselines.classification import (
+    MajorityClassifier,
+    PrivateERM,
+    PrivGene,
+)
+
+__all__ = [
+    "LaplaceMarginals",
+    "FourierMarginals",
+    "ContingencyMarginals",
+    "MWEM",
+    "UniformMarginals",
+    "MajorityClassifier",
+    "PrivateERM",
+    "PrivGene",
+]

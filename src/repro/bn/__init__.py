@@ -1,0 +1,27 @@
+"""Bayesian-network substrate: structure, validation, exact joints, quality."""
+
+from repro.bn.network import APPair, BayesianNetwork
+from repro.bn.quality import (
+    exact_model_joint,
+    model_kl_to_data,
+    network_mutual_information,
+)
+from repro.bn.inference import model_marginal, model_marginals
+from repro.bn.structure_search import (
+    chow_liu_tree,
+    exhaustive_best_network,
+    network_score,
+)
+
+__all__ = [
+    "APPair",
+    "BayesianNetwork",
+    "network_mutual_information",
+    "exact_model_joint",
+    "model_kl_to_data",
+    "model_marginal",
+    "model_marginals",
+    "chow_liu_tree",
+    "exhaustive_best_network",
+    "network_score",
+]

@@ -1,0 +1,122 @@
+"""Quality measures of a Bayesian network against the data it models.
+
+The network-learning experiments (Figure 4) score a network by the sum of
+mutual information over its AP pairs, ``sum_i I(X_i, Π_i)`` — the quantity
+Algorithm 2 greedily maximizes (Equation 6 shows the KL divergence from the
+model to the data decreases as that sum grows).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.bn.network import BayesianNetwork
+from repro.data.marginals import (
+    domain_size,
+    flatten_index,
+    joint_distribution,
+    unflatten_index,
+)
+from repro.data.table import Table
+from repro.infotheory.measures import kl_divergence, mutual_information
+
+
+def generalized_codes(table: Table, name: str, level: int) -> Tuple[np.ndarray, int]:
+    """Column codes of ``name`` generalized to taxonomy ``level``.
+
+    Returns the codes and the generalized domain size.  Level 0 returns the
+    raw column.
+    """
+    attr = table.attribute(name)
+    codes = table.column(name)
+    if level == 0:
+        return codes, attr.size
+    mapping = attr.generalization_map(level)
+    return mapping[codes], int(mapping.max()) + 1 if mapping.size else 1
+
+
+def pair_joint_distribution(
+    table: Table,
+    child: str,
+    parents: Sequence[Tuple[str, int]],
+) -> Tuple[np.ndarray, int]:
+    """Empirical ``Pr[Π, X]`` (child innermost) for a possibly generalized
+    parent set.  Returns the flat joint and the child domain size."""
+    columns: List[np.ndarray] = []
+    sizes: List[int] = []
+    for name, level in parents:
+        codes, size = generalized_codes(table, name, level)
+        columns.append(codes)
+        sizes.append(size)
+    child_attr = table.attribute(child)
+    columns.append(table.column(child))
+    sizes.append(child_attr.size)
+    total = domain_size(sizes)
+    flat = flatten_index(np.stack(columns, axis=1), sizes)
+    counts = np.bincount(flat, minlength=total).astype(float)
+    joint = counts / counts.sum() if counts.sum() > 0 else counts
+    return joint, child_attr.size
+
+
+def network_mutual_information(table: Table, network: BayesianNetwork) -> float:
+    """``sum_i I(X_i, Π_i)`` of the network on the empirical distribution."""
+    total = 0.0
+    for pair in network:
+        if not pair.parents:
+            continue
+        joint, child_size = pair_joint_distribution(table, pair.child, pair.parents)
+        total += mutual_information(joint, child_size)
+    return total
+
+
+def exact_model_joint(table: Table, network: BayesianNetwork) -> np.ndarray:
+    """Materialize ``Pr_N[A]`` over the full domain (small domains only).
+
+    Attributes follow the network's construction order.  Intended for tests
+    and tiny illustrative examples — the whole point of PrivBayes is to never
+    need this at scale.
+    """
+    order = list(network.attribute_order)
+    sizes = [table.attribute(name).size for name in order]
+    total = domain_size(sizes)
+    if total > 2_000_000:
+        raise ValueError(f"domain size {total} too large to materialize")
+    grid = np.ones(total, dtype=float)
+    coords = unflatten_index(np.arange(total), sizes)  # (total, d)
+    position = {name: i for i, name in enumerate(order)}
+    for pair in network:
+        child_idx = position[pair.child]
+        child_size = sizes[child_idx]
+        if pair.parents:
+            if any(level != 0 for _, level in pair.parents):
+                raise ValueError(
+                    "exact_model_joint does not support generalized parents"
+                )
+            parent_names = list(pair.parent_names)
+            joint = joint_distribution(table, parent_names + [pair.child])
+            parent_sizes = [table.attribute(p).size for p in parent_names]
+            conditional = joint.reshape(-1, child_size)
+            row_sums = conditional.sum(axis=1, keepdims=True)
+            safe = np.where(row_sums > 0, row_sums, 1.0)
+            conditional = np.where(
+                row_sums > 0, conditional / safe, 1.0 / child_size
+            )
+            parent_coords = np.stack(
+                [coords[:, position[p]] for p in parent_names], axis=1
+            )
+            parent_flat = flatten_index(parent_coords, parent_sizes)
+            grid *= conditional[parent_flat, coords[:, child_idx]]
+        else:
+            marginal = joint_distribution(table, [pair.child])
+            grid *= marginal[coords[:, child_idx]]
+    return grid
+
+
+def model_kl_to_data(table: Table, network: BayesianNetwork) -> float:
+    """``D_KL(Pr[A] || Pr_N[A])`` over the full domain (small domains only)."""
+    order = list(network.attribute_order)
+    data_joint = joint_distribution(table, order)
+    model_joint = exact_model_joint(table, network)
+    return kl_divergence(data_joint, model_joint)

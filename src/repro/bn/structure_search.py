@@ -1,0 +1,165 @@
+"""Non-private reference structure search: Chow-Liu trees and brute force.
+
+These are the gold standards the private algorithms approximate:
+
+* :func:`chow_liu_tree` — the exact optimal 1-degree network (Chow & Liu
+  1968): a maximum spanning tree over pairwise mutual information, rooted
+  at a chosen attribute.  Algorithm 2 with ``k = 1`` and argmax selection
+  is equivalent (Section 4.1); this module provides the independent MST
+  construction used to verify that claim in tests.
+* :func:`exhaustive_best_network` — the true optimum ``max Σ I(X_i, Π_i)``
+  over *all* attribute orders and parent sets, by dynamic programming over
+  subsets.  Exponential in ``d`` (the problem is NP-hard for ``k > 1``,
+  Section 4.1), usable for ``d ≤ ~12``.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.bn.network import APPair, BayesianNetwork
+from repro.data.table import Table
+from repro.infotheory.measures import mutual_information_from_table
+
+
+def pairwise_mutual_information(table: Table) -> Dict[Tuple[str, str], float]:
+    """``I(X, Y)`` for every unordered attribute pair."""
+    names = list(table.attribute_names)
+    out = {}
+    for a, b in itertools.combinations(names, 2):
+        out[(a, b)] = mutual_information_from_table(table, b, [a])
+    return out
+
+
+def chow_liu_tree(table: Table, root: Optional[str] = None) -> BayesianNetwork:
+    """Exact optimal 1-degree network via maximum spanning tree.
+
+    Kruskal over edges weighted by mutual information, then oriented away
+    from ``root`` (default: the first attribute) by breadth-first search.
+    """
+    names = list(table.attribute_names)
+    if not names:
+        return BayesianNetwork([])
+    if root is None:
+        root = names[0]
+    if root not in names:
+        raise ValueError(f"unknown root {root!r}")
+    if len(names) == 1:
+        return BayesianNetwork([APPair.make(root, [])])
+    weights = pairwise_mutual_information(table)
+    edges = sorted(weights.items(), key=lambda kv: -kv[1])
+    # Kruskal with union-find.
+    parent_of = {name: name for name in names}
+
+    def find(x):
+        while parent_of[x] != x:
+            parent_of[x] = parent_of[parent_of[x]]
+            x = parent_of[x]
+        return x
+
+    adjacency: Dict[str, List[str]] = {name: [] for name in names}
+    accepted = 0
+    for (a, b), _ in edges:
+        ra, rb = find(a), find(b)
+        if ra == rb:
+            continue
+        parent_of[ra] = rb
+        adjacency[a].append(b)
+        adjacency[b].append(a)
+        accepted += 1
+        if accepted == len(names) - 1:
+            break
+    # Orient away from the root (BFS); isolated attrs become parentless.
+    pairs = [APPair.make(root, [])]
+    visited = {root}
+    frontier = [root]
+    while frontier:
+        current = frontier.pop(0)
+        for neighbor in adjacency[current]:
+            if neighbor in visited:
+                continue
+            visited.add(neighbor)
+            pairs.append(APPair.make(neighbor, [current]))
+            frontier.append(neighbor)
+    for name in names:
+        if name not in visited:
+            pairs.append(APPair.make(name, []))
+            visited.add(name)
+    return BayesianNetwork(pairs)
+
+
+def network_score(table: Table, network: BayesianNetwork) -> float:
+    """``Σ I(X_i, Π_i)`` of a network on the empirical distribution."""
+    total = 0.0
+    for pair in network:
+        if pair.parents:
+            total += mutual_information_from_table(
+                table, pair.child, list(pair.parent_names)
+            )
+    return total
+
+
+def exhaustive_best_network(
+    table: Table, k: int, max_d: int = 12
+) -> BayesianNetwork:
+    """The true optimal ``k``-degree network by subset dynamic programming.
+
+    State: the set ``S`` of already-placed attributes; value: the best
+    achievable ``Σ I`` placing exactly the attributes of ``S`` first.
+    Transition: append attribute ``x ∉ S`` with its best parent set
+    ``Π ⊆ S, |Π| ≤ k``.  ``O(2^d · d · C(d, k))`` — reference only.
+    """
+    names = list(table.attribute_names)
+    d = len(names)
+    if d > max_d:
+        raise ValueError(f"exhaustive search limited to d <= {max_d}")
+    if d == 0:
+        return BayesianNetwork([])
+    index = {name: i for i, name in enumerate(names)}
+
+    # Best parent set (and its MI) for each (attribute, available-mask).
+    best_mi: Dict[Tuple[int, int], Tuple[float, Tuple[str, ...]]] = {}
+
+    def best_parents(x: int, mask: int) -> Tuple[float, Tuple[str, ...]]:
+        key = (x, mask)
+        if key in best_mi:
+            return best_mi[key]
+        available = [names[i] for i in range(d) if mask & (1 << i)]
+        best = (0.0, ())
+        width = min(k, len(available))
+        for r in range(width, width + 1):
+            for combo in itertools.combinations(available, r):
+                mi = mutual_information_from_table(table, names[x], list(combo))
+                if mi > best[0]:
+                    best = (mi, combo)
+        best_mi[key] = best
+        return best
+
+    # DP over subsets.
+    NEG = float("-inf")
+    value = np.full(1 << d, NEG)
+    choice: Dict[int, Tuple[int, Tuple[str, ...]]] = {}
+    value[0] = 0.0
+    for mask in range(1 << d):
+        if value[mask] == NEG:
+            continue
+        for x in range(d):
+            if mask & (1 << x):
+                continue
+            mi, parents = best_parents(x, mask)
+            new_mask = mask | (1 << x)
+            if value[mask] + mi > value[new_mask]:
+                value[new_mask] = value[mask] + mi
+                choice[new_mask] = (x, parents)
+    # Reconstruct.
+    order: List[Tuple[str, Tuple[str, ...]]] = []
+    mask = (1 << d) - 1
+    while mask:
+        x, parents = choice[mask]
+        order.append((names[x], parents))
+        mask &= ~(1 << x)
+    order.reverse()
+    return BayesianNetwork([APPair.make(child, parents) for child, parents in order])

@@ -1,0 +1,60 @@
+"""The paper's primary contribution: the PrivBayes pipeline.
+
+Public surface:
+
+* :class:`~repro.core.privbayes.PrivBayes` — end-to-end release pipeline
+  (network learning → distribution learning → sampling, Section 3).
+* :mod:`~repro.core.scores` — score functions ``I``, ``F``, ``R``
+  (Sections 4.2, 4.3, 5.3).
+* :mod:`~repro.core.greedy_bayes` — Algorithms 2 and 4.
+* :mod:`~repro.core.parent_sets` — Algorithms 5 and 6.
+* :mod:`~repro.core.noisy_conditionals` — Algorithms 1 and 3.
+* :mod:`~repro.core.sampler` — ancestral synthesis of tuples.
+* :mod:`~repro.core.theta` — θ-usefulness (Definition 4.7) choice of ``k``.
+"""
+
+from repro.core.privbayes import PrivBayes, PrivBayesConfig, PrivBayesModel
+from repro.core.scores import (
+    score_F,
+    score_I,
+    score_R,
+    sensitivity_F,
+    sensitivity_I,
+    sensitivity_R,
+)
+from repro.core.greedy_bayes import greedy_bayes_fixed_k, greedy_bayes_theta
+from repro.core.parent_sets import (
+    maximal_parent_sets,
+    maximal_parent_sets_generalized,
+)
+from repro.core.noisy_conditionals import (
+    ConditionalTable,
+    NoisyModel,
+    noisy_conditionals_fixed_k,
+    noisy_conditionals_general,
+)
+from repro.core.sampler import sample_synthetic
+from repro.core.theta import choose_k_binary, usefulness_tau
+
+__all__ = [
+    "PrivBayes",
+    "PrivBayesConfig",
+    "PrivBayesModel",
+    "score_I",
+    "score_F",
+    "score_R",
+    "sensitivity_I",
+    "sensitivity_F",
+    "sensitivity_R",
+    "greedy_bayes_fixed_k",
+    "greedy_bayes_theta",
+    "maximal_parent_sets",
+    "maximal_parent_sets_generalized",
+    "ConditionalTable",
+    "NoisyModel",
+    "noisy_conditionals_fixed_k",
+    "noisy_conditionals_general",
+    "sample_synthetic",
+    "choose_k_binary",
+    "usefulness_tau",
+]

@@ -1,0 +1,284 @@
+"""Private Bayesian-network construction (Algorithms 2 and 4).
+
+Both algorithms place attributes one at a time: the next attribute-parent
+pair is drawn from a candidate set via the exponential mechanism (or via
+plain argmax in non-private mode, used by the NoPrivacy reference of
+Figure 4).  Algorithm 2 handles binary domains with a fixed degree ``k``;
+Algorithm 4 handles general domains, constraining candidates through
+θ-usefulness and (optionally) taxonomy generalization.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.bn.network import APPair, BayesianNetwork
+from repro.bn.quality import generalized_codes
+from repro.core.parent_sets import (
+    ParentSet,
+    maximal_parent_sets,
+    maximal_parent_sets_generalized,
+    parent_set_domain_size,
+)
+from repro.core.scores import (
+    score_F,
+    score_I,
+    score_R,
+    sensitivity_F,
+    sensitivity_I,
+    sensitivity_R,
+)
+from repro.core.theta import usefulness_tau
+from repro.data.attribute import Attribute
+from repro.data.marginals import domain_size, flatten_index
+from repro.data.table import Table
+from repro.dp.mechanisms import exponential_mechanism
+
+Candidate = Tuple[str, Tuple[Tuple[str, int], ...]]
+
+
+class _CandidateScorer:
+    """Scores (child, parent-set) candidates with shared flattening caches.
+
+    Candidate enumeration revisits the same parent sets for many children
+    (and across greedy iterations), so the mixed-radix flattening of each
+    parent set — the expensive O(n) part — is computed once and cached.
+    """
+
+    def __init__(self, table: Table, score: str) -> None:
+        if score not in ("I", "F", "R"):
+            raise ValueError(f"unknown score function {score!r}")
+        self.table = table
+        self.score = score
+        self._generalized: dict = {}
+        self._parent_flat: dict = {}
+
+    def _codes(self, name: str, level: int) -> Tuple[np.ndarray, int]:
+        key = (name, level)
+        if key not in self._generalized:
+            self._generalized[key] = generalized_codes(self.table, name, level)
+        return self._generalized[key]
+
+    def _parent_index(
+        self, parents: Tuple[Tuple[str, int], ...]
+    ) -> Tuple[np.ndarray, int]:
+        """Flattened parent configuration per row, plus the parent domain."""
+        if parents not in self._parent_flat:
+            columns = []
+            sizes = []
+            for name, level in parents:
+                codes, size = self._codes(name, level)
+                columns.append(codes)
+                sizes.append(size)
+            if columns:
+                flat = flatten_index(np.stack(columns, axis=1), sizes)
+            else:
+                flat = np.zeros(self.table.n, dtype=np.int64)
+            self._parent_flat[parents] = (flat, domain_size(sizes))
+        return self._parent_flat[parents]
+
+    def counts(
+        self, child: str, parents: Tuple[Tuple[str, int], ...]
+    ) -> Tuple[np.ndarray, int]:
+        """Contingency counts ``Pr[Π, X]`` (child innermost)."""
+        parent_flat, parent_dom = self._parent_index(parents)
+        child_attr = self.table.attribute(child)
+        flat = parent_flat * child_attr.size + self.table.column(child)
+        counts = np.bincount(
+            flat, minlength=parent_dom * child_attr.size
+        ).astype(float)
+        return counts, child_attr.size
+
+    def __call__(
+        self, child: str, parents: Tuple[Tuple[str, int], ...]
+    ) -> float:
+        counts, child_size = self.counts(child, parents)
+        n = self.table.n
+        if self.score == "F":
+            if child_size != 2:
+                raise ValueError(
+                    f"score 'F' requires a binary child; {child!r} has "
+                    f"{child_size} values"
+                )
+            return score_F(counts, n)
+        joint = counts / n if n else counts
+        if self.score == "I":
+            return score_I(joint, child_size)
+        return score_R(joint, child_size)
+
+
+def _score_sensitivity(
+    score: str, n: int, child_size: int, parent_domain: int
+) -> float:
+    if score == "F":
+        return sensitivity_F(n)
+    if score == "R":
+        return sensitivity_R(n)
+    if score == "I":
+        return sensitivity_I(n, binary=(child_size == 2 or parent_domain == 2))
+    raise ValueError(f"unknown score function {score!r}")
+
+
+def _select(
+    scorer: _CandidateScorer,
+    candidates: List[Candidate],
+    epsilon: Optional[float],
+    rng: np.random.Generator,
+) -> Candidate:
+    """Pick one candidate: exponential mechanism when ``epsilon`` is set,
+    plain argmax otherwise (non-private reference)."""
+    table = scorer.table
+    scores = np.array([scorer(child, parents) for child, parents in candidates])
+    if epsilon is None:
+        return candidates[int(np.argmax(scores))]
+    attrs = {a.name: a for a in table.attributes}
+    # The per-selection sensitivity must hold for every candidate in Ω;
+    # use the largest applicable sensitivity (only I varies by domain shape).
+    sensitivity = max(
+        _score_sensitivity(
+            scorer.score,
+            table.n,
+            attrs[child].size,
+            parent_set_domain_size(frozenset(parents), attrs),
+        )
+        for child, parents in candidates
+    )
+    index = exponential_mechanism(scores, sensitivity, epsilon, rng)
+    return candidates[index]
+
+
+def greedy_bayes_fixed_k(
+    table: Table,
+    k: int,
+    epsilon1: Optional[float],
+    score: str = "F",
+    rng: Optional[np.random.Generator] = None,
+    first_attribute: Optional[str] = None,
+) -> BayesianNetwork:
+    """Algorithm 2: greedy ``k``-degree network construction.
+
+    Parameters
+    ----------
+    table:
+        The sensitive dataset (binary attributes expected when ``score='F'``).
+    k:
+        Network degree.  ``k = 0`` yields the independent-attributes network.
+    epsilon1:
+        Network-learning budget; ``None`` disables privacy (argmax greedy,
+        the NoPrivacy reference of Figure 4).
+    score:
+        One of ``'I' | 'F' | 'R'``.
+    first_attribute:
+        Override the random choice of the first (parentless) attribute.
+    """
+    if rng is None:
+        rng = np.random.default_rng()
+    names = list(table.attribute_names)
+    d = len(names)
+    if d == 0:
+        return BayesianNetwork([])
+    if k < 0:
+        raise ValueError("k must be non-negative")
+    if score == "F":
+        for attr in table.attributes:
+            if attr.size != 2:
+                raise ValueError(
+                    "score 'F' requires binary attributes; "
+                    f"{attr.name!r} has {attr.size} values"
+                )
+    first = first_attribute or names[int(rng.integers(len(names)))]
+    if first not in names:
+        raise ValueError(f"unknown first attribute {first!r}")
+    pairs = [APPair.make(first, [])]
+    placed = [first]
+    remaining = [name for name in names if name != first]
+    per_round_epsilon = None
+    if epsilon1 is not None:
+        if epsilon1 <= 0:
+            raise ValueError("epsilon1 must be positive")
+        per_round_epsilon = epsilon1 / max(1, d - 1)
+    scorer = _CandidateScorer(table, score)
+    while remaining:
+        width = min(k, len(placed))
+        candidates: List[Candidate] = []
+        for child in remaining:
+            for parents in itertools.combinations(placed, width):
+                candidates.append(
+                    (child, tuple((name, 0) for name in parents))
+                )
+        child, parents = _select(scorer, candidates, per_round_epsilon, rng)
+        pairs.append(APPair.make(child, parents))
+        placed.append(child)
+        remaining.remove(child)
+    return BayesianNetwork(pairs)
+
+
+def greedy_bayes_theta(
+    table: Table,
+    epsilon1: Optional[float],
+    epsilon2: float,
+    theta: float,
+    score: str = "R",
+    generalize: bool = False,
+    rng: Optional[np.random.Generator] = None,
+    first_attribute: Optional[str] = None,
+) -> BayesianNetwork:
+    """Algorithm 4: θ-useful network construction over general domains.
+
+    Candidates for each unplaced attribute ``X`` are its maximal parent
+    sets under the domain budget ``τ / |dom(X)|`` with
+    ``τ = n·ε₂ / (2dθ)`` (Section 5.2); when no parent set fits, ``(X, ∅)``
+    keeps the attribute modeled as independent.
+
+    Parameters
+    ----------
+    generalize:
+        Use Algorithm 6 (taxonomy-aware maximal parent sets) instead of
+        Algorithm 5 — the Hierarchical encoding of Section 5.1.
+    epsilon1:
+        Selection budget; ``None`` for the non-private argmax reference.
+    epsilon2:
+        Distribution-learning budget; enters only through ``τ`` (a public
+        quantity), so it is *not* spent here.
+    """
+    if rng is None:
+        rng = np.random.default_rng()
+    names = list(table.attribute_names)
+    d = len(names)
+    if d == 0:
+        return BayesianNetwork([])
+    tau_total = usefulness_tau(table.n, d, epsilon2, theta)
+    first = first_attribute or names[int(rng.integers(len(names)))]
+    if first not in names:
+        raise ValueError(f"unknown first attribute {first!r}")
+    pairs = [APPair.make(first, [])]
+    placed = [first]
+    remaining = [name for name in names if name != first]
+    per_round_epsilon = None
+    if epsilon1 is not None:
+        if epsilon1 <= 0:
+            raise ValueError("epsilon1 must be positive")
+        per_round_epsilon = epsilon1 / max(1, d - 1)
+    enumerate_sets = (
+        maximal_parent_sets_generalized if generalize else maximal_parent_sets
+    )
+    scorer = _CandidateScorer(table, score)
+    while remaining:
+        placed_attrs = [table.attribute(name) for name in placed]
+        candidates: List[Candidate] = []
+        for child in remaining:
+            child_size = table.attribute(child).size
+            top = enumerate_sets(placed_attrs, tau_total / child_size)
+            if not top:
+                candidates.append((child, ()))
+            else:
+                for parent_set in top:
+                    candidates.append((child, tuple(sorted(parent_set))))
+        child, parents = _select(scorer, candidates, per_round_epsilon, rng)
+        pairs.append(APPair.make(child, parents))
+        placed.append(child)
+        remaining.remove(child)
+    return BayesianNetwork(pairs)

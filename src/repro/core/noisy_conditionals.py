@@ -1,0 +1,231 @@
+"""Distribution learning: noisy conditionals via the Laplace mechanism.
+
+Implements Algorithm 1 (binary domains, degree-``k`` networks: the first
+``k`` conditionals are derived from the ``(k+1)``-th noisy joint at no
+extra privacy cost) and Algorithm 3 (general domains: one noisy joint per
+AP pair, budget split evenly over all ``d``).
+
+Each released conditional is a :class:`ConditionalTable`: a row-stochastic
+matrix ``Pr*[X | Π]`` indexed by the mixed-radix flattening of the parent
+values (parents sorted by name, as in :class:`~repro.bn.network.APPair`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.bn.network import APPair, BayesianNetwork
+from repro.bn.quality import generalized_codes
+from repro.data.attribute import Attribute
+from repro.data.marginals import (
+    conditional_from_joint,
+    domain_size,
+    flatten_index,
+    normalize_distribution,
+    project_distribution,
+)
+from repro.data.table import Table
+from repro.dp.accountant import PrivacyAccountant
+from repro.dp.mechanisms import laplace_mechanism
+
+#: L1 sensitivity of a joint probability distribution of one table:
+#: changing one tuple moves 1/n of mass from one cell to another.
+JOINT_DISTRIBUTION_SENSITIVITY = 2.0
+
+
+@dataclass(frozen=True)
+class ConditionalTable:
+    """One released conditional distribution ``Pr*[X | Π]``.
+
+    ``matrix`` has one row per flattened parent configuration (mixed radix
+    over ``parent_sizes``, parents in ``parents`` order) and one column per
+    child value; rows sum to 1.
+    """
+
+    child: str
+    parents: Tuple[Tuple[str, int], ...]
+    parent_sizes: Tuple[int, ...]
+    child_size: int
+    matrix: np.ndarray
+
+    def __post_init__(self) -> None:
+        expected = (domain_size(self.parent_sizes), self.child_size)
+        if self.matrix.shape != expected:
+            raise ValueError(
+                f"conditional for {self.child!r}: matrix shape "
+                f"{self.matrix.shape} != expected {expected}"
+            )
+
+
+@dataclass(frozen=True)
+class NoisyModel:
+    """The output of distribution learning: conditionals in network order."""
+
+    network: BayesianNetwork
+    conditionals: Tuple[ConditionalTable, ...]
+
+    def conditional_for(self, child: str) -> ConditionalTable:
+        for table in self.conditionals:
+            if table.child == child:
+                return table
+        raise KeyError(f"no conditional for {child!r}")
+
+
+def _pair_layout(
+    table: Table, pair: APPair
+) -> Tuple[List[np.ndarray], List[int]]:
+    """Columns and sizes for ``Pr[Π, X]`` (parents in pair order, child last)."""
+    columns: List[np.ndarray] = []
+    sizes: List[int] = []
+    for name, level in pair.parents:
+        codes, size = generalized_codes(table, name, level)
+        columns.append(codes)
+        sizes.append(size)
+    columns.append(table.column(pair.child))
+    sizes.append(table.attribute(pair.child).size)
+    return columns, sizes
+
+
+def _noisy_joint(
+    table: Table,
+    pair: APPair,
+    epsilon_share: Optional[float],
+    rng: np.random.Generator,
+) -> Tuple[np.ndarray, List[int]]:
+    """Materialize ``Pr[Π, X]``, perturb, clamp, normalize (Alg 1/3 lines 3-5).
+
+    ``epsilon_share`` is the per-marginal budget (``ε₂/(d-k)`` in
+    Algorithm 1, ``ε₂/d`` in Algorithm 3), so the Laplace scale is the
+    paper's ``2(d-k)/(n·ε₂)`` resp. ``2d/(n·ε₂)``.  ``None`` skips the
+    noise entirely — the non-private BestMarginal diagnostic of Figure 11.
+    """
+    columns, sizes = _pair_layout(table, pair)
+    total = domain_size(sizes)
+    flat = flatten_index(np.stack(columns, axis=1), sizes)
+    counts = np.bincount(flat, minlength=total).astype(float)
+    joint = counts / table.n if table.n else np.full(total, 1.0 / total)
+    if epsilon_share is None:
+        return normalize_distribution(joint), sizes
+    noisy = laplace_mechanism(
+        joint,
+        sensitivity=JOINT_DISTRIBUTION_SENSITIVITY / max(table.n, 1),
+        epsilon=epsilon_share,
+        rng=rng,
+    )
+    return normalize_distribution(noisy), sizes
+
+
+def _conditional_from(
+    pair: APPair, joint: np.ndarray, sizes: Sequence[int]
+) -> ConditionalTable:
+    child_size = int(sizes[-1])
+    return ConditionalTable(
+        child=pair.child,
+        parents=pair.parents,
+        parent_sizes=tuple(int(s) for s in sizes[:-1]),
+        child_size=child_size,
+        matrix=conditional_from_joint(joint, child_size),
+    )
+
+
+def noisy_conditionals_general(
+    table: Table,
+    network: BayesianNetwork,
+    epsilon2: Optional[float],
+    rng: np.random.Generator,
+    accountant: Optional[PrivacyAccountant] = None,
+) -> NoisyModel:
+    """Algorithm 3: one noisy joint per AP pair, ε₂ split over all ``d``.
+
+    ``epsilon2 = None`` releases exact conditionals (non-private; the
+    BestMarginal diagnostic of Figure 11).
+    """
+    if epsilon2 is not None and epsilon2 <= 0:
+        raise ValueError("epsilon2 must be positive")
+    d = network.d
+    share = None if epsilon2 is None else epsilon2 / d
+    conditionals: List[ConditionalTable] = []
+    for pair in network:
+        if accountant is not None and share is not None:
+            accountant.charge(f"marginal[{pair.child}]", share)
+        joint, sizes = _noisy_joint(table, pair, share, rng)
+        conditionals.append(_conditional_from(pair, joint, sizes))
+    return NoisyModel(network=network, conditionals=tuple(conditionals))
+
+
+def noisy_conditionals_fixed_k(
+    table: Table,
+    network: BayesianNetwork,
+    k: int,
+    epsilon2: Optional[float],
+    rng: np.random.Generator,
+    accountant: Optional[PrivacyAccountant] = None,
+) -> NoisyModel:
+    """Algorithm 1: materialize ``d - k`` joints; derive the first ``k``
+    conditionals from the ``(k+1)``-th noisy joint at zero privacy cost.
+
+    Requires the structural guarantee of Algorithm 2 (Section 3): for every
+    ``i ≤ k``, ``X_i ∈ Π_{k+1}`` and ``Π_i ⊂ Π_{k+1}``.  Falls back to
+    materializing a pair directly if the guarantee does not hold for it
+    (that costs budget, so callers built via Algorithm 2 never hit it).
+
+    ``epsilon2 = None`` releases exact conditionals (non-private; the
+    BestMarginal diagnostic of Figure 11).
+    """
+    if epsilon2 is not None and epsilon2 <= 0:
+        raise ValueError("epsilon2 must be positive")
+    d = network.d
+    if not 0 <= k < max(d, 1):
+        raise ValueError(f"k={k} out of range for d={d}")
+    pairs = list(network.pairs)
+    share = None if epsilon2 is None else epsilon2 / max(d - k, 1)
+    conditionals: Dict[str, ConditionalTable] = {}
+    anchor_joint: Optional[np.ndarray] = None
+    anchor_sizes: Optional[List[int]] = None
+    anchor_names: Optional[List[str]] = None
+    for i in range(k, d):
+        pair = pairs[i]
+        if accountant is not None and share is not None:
+            accountant.charge(f"marginal[{pair.child}]", share)
+        joint, sizes = _noisy_joint(table, pair, share, rng)
+        conditionals[pair.child] = _conditional_from(pair, joint, sizes)
+        if i == k:
+            anchor_joint, anchor_sizes = joint, sizes
+            anchor_names = [name for name, _ in pair.parents] + [pair.child]
+    for i in range(min(k, d)):
+        pair = pairs[i]
+        derived = _derive_from_anchor(
+            pair, anchor_joint, anchor_sizes, anchor_names
+        )
+        if derived is None:
+            # Structural guarantee missing: materialize directly (charged).
+            if accountant is not None and share is not None:
+                accountant.charge(f"marginal[{pair.child}] (fallback)", share)
+            joint, sizes = _noisy_joint(table, pair, share, rng)
+            derived = _conditional_from(pair, joint, sizes)
+        conditionals[pair.child] = derived
+    ordered = tuple(conditionals[pair.child] for pair in pairs)
+    return NoisyModel(network=network, conditionals=ordered)
+
+
+def _derive_from_anchor(
+    pair: APPair,
+    anchor_joint: Optional[np.ndarray],
+    anchor_sizes: Optional[List[int]],
+    anchor_names: Optional[List[str]],
+) -> Optional[ConditionalTable]:
+    """Derive ``Pr*[X_i | Π_i]`` from ``Pr*[X_{k+1}, Π_{k+1}]`` (Alg 1 l.8)."""
+    if anchor_joint is None or anchor_names is None:
+        return None
+    if any(level != 0 for _, level in pair.parents):
+        return None
+    wanted = [name for name, _ in pair.parents] + [pair.child]
+    if any(name not in anchor_names for name in wanted):
+        return None
+    keep = [anchor_names.index(name) for name in wanted]
+    projected = project_distribution(anchor_joint, anchor_sizes, keep)
+    sizes = [anchor_sizes[i] for i in keep]
+    return _conditional_from(pair, projected, sizes)

@@ -1,0 +1,101 @@
+"""Maximal parent-set enumeration (Algorithms 5 and 6).
+
+Given the set ``V`` of already-placed attributes and a domain-size budget
+``τ`` (from θ-usefulness), a *maximal parent set* is a subset of ``V``
+whose joint domain fits within ``τ`` and which cannot be grown — by adding
+another attribute, or (with taxonomies) by refining an attribute to a less
+generalized level — without busting the budget.
+
+Parent sets are represented as frozensets of ``(attribute_name, level)``
+pairs; level 0 is the raw attribute.  Algorithm 5 is the level-free special
+case of Algorithm 6.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Sequence, Set, Tuple
+
+from repro.data.attribute import Attribute
+
+ParentSet = FrozenSet[Tuple[str, int]]
+
+
+def _level_sizes(attr: Attribute) -> List[int]:
+    """Domain size of ``attr`` at every generalization level."""
+    if attr.taxonomy is None:
+        return [attr.size]
+    return [attr.taxonomy.level_size(level) for level in range(attr.taxonomy.height)]
+
+
+def maximal_parent_sets(
+    attributes: Sequence[Attribute], tau: float
+) -> List[ParentSet]:
+    """Algorithm 5: all maximal subsets of ``attributes`` with joint domain
+    size at most ``tau`` (no generalization).
+
+    Returns frozensets of ``(name, 0)`` pairs.  ``τ < 1`` admits nothing;
+    an empty ``attributes`` admits only the empty set.
+    """
+    if tau < 1.0:
+        return []
+    if not attributes:
+        return [frozenset()]
+    head, rest = attributes[0], list(attributes[1:])
+    # Maximal subsets that omit `head`.
+    result: Set[ParentSet] = set(maximal_parent_sets(rest, tau))
+    # Maximal subsets that include `head`: recurse with the tightened budget.
+    for subset in maximal_parent_sets(rest, tau / head.size):
+        result.discard(subset)  # subset ⊂ subset ∪ {head}: no longer maximal
+        result.add(subset | {(head.name, 0)})
+    return sorted(result, key=_canonical_key)
+
+
+def maximal_parent_sets_generalized(
+    attributes: Sequence[Attribute], tau: float
+) -> List[ParentSet]:
+    """Algorithm 6: maximal generalized parent sets.
+
+    Each attribute may participate at any taxonomy level; a set is maximal
+    when no attribute can be added and no member refined to a lower
+    (more specific) level while keeping the joint domain within ``τ``.
+    """
+    if tau < 1.0:
+        return []
+    if not attributes:
+        return [frozenset()]
+    head, rest = attributes[0], list(attributes[1:])
+    sizes = _level_sizes(head)
+    result: Set[ParentSet] = set()
+    used: Set[ParentSet] = set()
+    # Levels from least generalized (0) upward: the first level that admits a
+    # given remainder-set Z wins, so Z is combined with the most specific
+    # usable version of `head` (lines 5-8 of Algorithm 6).
+    for level, size in enumerate(sizes):
+        for subset in maximal_parent_sets_generalized(rest, tau / size):
+            if subset in used:
+                continue
+            used.add(subset)
+            result.add(subset | {(head.name, level)})
+    # Remainder sets that cannot host `head` at any level (lines 9-11).
+    for subset in maximal_parent_sets_generalized(rest, tau):
+        if subset not in used:
+            result.add(subset)
+    return sorted(result, key=_canonical_key)
+
+
+def parent_set_domain_size(
+    parent_set: ParentSet, attributes_by_name: Dict[str, Attribute]
+) -> int:
+    """Joint domain size of a (possibly generalized) parent set."""
+    size = 1
+    for name, level in parent_set:
+        attr = attributes_by_name[name]
+        if level == 0:
+            size *= attr.size
+        else:
+            size *= attr.taxonomy.level_size(level)
+    return size
+
+
+def _canonical_key(parent_set: ParentSet) -> Tuple:
+    return tuple(sorted(parent_set))

@@ -1,0 +1,252 @@
+"""The end-to-end PrivBayes pipeline (Section 3).
+
+Three phases under a total budget ε split as ε₁ = βε (network learning,
+exponential mechanism) and ε₂ = (1−β)ε (distribution learning, Laplace
+mechanism); sampling is post-processing and free.  Theorem 3.2: the whole
+pipeline is (ε₁ + ε₂)-differentially private.
+
+Two operating modes, chosen automatically from the schema:
+
+* ``binary`` — every attribute is binary: Algorithm 2 with degree ``k``
+  chosen by θ-usefulness (Lemma 4.8), score ``F`` by default, and
+  Algorithm 1 for distribution learning.
+* ``general`` — arbitrary discrete domains: Algorithm 4 (θ-usefulness via
+  the domain-size bound τ), score ``R`` by default, and Algorithm 3.
+  With ``generalize=True``, parent sets may use taxonomy-generalized
+  attributes (Algorithm 6) — the Hierarchical encoding of Section 5.1.
+
+Diagnostic switches ``oracle_network`` / ``oracle_marginals`` reproduce the
+BestNetwork / BestMarginal references of Figure 11.  They break differential
+privacy and exist only for error attribution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+import numpy as np
+
+from repro.bn.network import APPair, BayesianNetwork
+from repro.core.greedy_bayes import greedy_bayes_fixed_k, greedy_bayes_theta
+from repro.core.noisy_conditionals import (
+    NoisyModel,
+    noisy_conditionals_fixed_k,
+    noisy_conditionals_general,
+)
+from repro.core.sampler import sample_synthetic
+from repro.core.theta import choose_k_binary
+from repro.data.table import Table
+from repro.dp.accountant import PrivacyAccountant
+
+#: Paper defaults (Section 6.4): β = 0.3, θ = 4.
+DEFAULT_BETA = 0.3
+DEFAULT_THETA = 4.0
+
+
+@dataclass(frozen=True)
+class PrivBayesConfig:
+    """All tunables of the pipeline.
+
+    Parameters
+    ----------
+    epsilon:
+        Total privacy budget ε.
+    beta:
+        Fraction of ε for network learning (ε₁ = βε).  Figure 9 studies
+        this; [0.2, 0.5] is the good range, 0.3 the default.
+    theta:
+        Usefulness threshold (Definition 4.7).  Figure 10 studies this;
+        [3, 6] is the good range, 4 the default.
+    score:
+        ``'I' | 'F' | 'R' | 'auto'``.  Auto picks ``F`` in binary mode and
+        ``R`` in general mode (the paper's recommendations).
+    mode:
+        ``'binary' | 'general' | 'auto'``.  Auto picks binary iff every
+        attribute has a two-value domain.
+    k:
+        Optional override of the network degree (binary mode only); by
+        default θ-usefulness chooses it.
+    generalize:
+        Allow taxonomy-generalized parents (Algorithm 6, general mode).
+    first_attribute:
+        Optional deterministic choice of the first network attribute.
+    oracle_network / oracle_marginals:
+        Figure 11 diagnostics (non-private network / exact marginals).
+    """
+
+    epsilon: float
+    beta: float = DEFAULT_BETA
+    theta: float = DEFAULT_THETA
+    score: str = "auto"
+    mode: str = "auto"
+    k: Optional[int] = None
+    generalize: bool = False
+    first_attribute: Optional[str] = None
+    oracle_network: bool = False
+    oracle_marginals: bool = False
+
+    def __post_init__(self) -> None:
+        if self.epsilon <= 0:
+            raise ValueError("epsilon must be positive")
+        if not 0.0 <= self.beta < 1.0:
+            raise ValueError("beta must be in [0, 1)")
+        if self.theta <= 0:
+            raise ValueError("theta must be positive")
+        if self.score not in ("auto", "I", "F", "R"):
+            raise ValueError(f"unknown score {self.score!r}")
+        if self.mode not in ("auto", "binary", "general"):
+            raise ValueError(f"unknown mode {self.mode!r}")
+
+
+@dataclass
+class PrivBayesModel:
+    """A fitted model: network + noisy conditionals + release metadata."""
+
+    noisy: NoisyModel
+    table_attributes: tuple
+    source_n: int
+    config: PrivBayesConfig
+    accountant: PrivacyAccountant
+    k: Optional[int] = None
+
+    @property
+    def network(self) -> BayesianNetwork:
+        return self.noisy.network
+
+    def sample(
+        self, n: Optional[int] = None, rng: Optional[np.random.Generator] = None
+    ) -> Table:
+        """Draw a synthetic dataset (defaults to the source cardinality)."""
+        return sample_synthetic(
+            self.noisy,
+            self.table_attributes,
+            self.source_n if n is None else n,
+            rng,
+        )
+
+
+class PrivBayes:
+    """High-level entry point: ``PrivBayes(epsilon=...).fit_sample(table)``."""
+
+    def __init__(self, config: Optional[PrivBayesConfig] = None, **kwargs) -> None:
+        if config is None:
+            config = PrivBayesConfig(**kwargs)
+        elif kwargs:
+            config = replace(config, **kwargs)
+        self.config = config
+
+    # ------------------------------------------------------------------
+    def fit(
+        self, table: Table, rng: Optional[np.random.Generator] = None
+    ) -> PrivBayesModel:
+        """Run phases 1 and 2 (network + distribution learning)."""
+        if rng is None:
+            rng = np.random.default_rng()
+        if table.d == 0 or table.n == 0:
+            raise ValueError("cannot fit an empty table")
+        config = self.config
+        mode = config.mode
+        if mode == "auto":
+            all_binary = all(a.size == 2 for a in table.attributes)
+            mode = "binary" if all_binary else "general"
+        score = config.score
+        if score == "auto":
+            score = "F" if mode == "binary" else "R"
+        accountant = PrivacyAccountant(config.epsilon)
+        epsilon1 = config.beta * config.epsilon
+        epsilon2 = config.epsilon - epsilon1
+        if mode == "binary":
+            model, k = self._fit_binary(
+                table, score, epsilon1, epsilon2, accountant, rng
+            )
+        else:
+            model = self._fit_general(
+                table, score, epsilon1, epsilon2, accountant, rng
+            )
+            k = None
+        return PrivBayesModel(
+            noisy=model,
+            table_attributes=table.attributes,
+            source_n=table.n,
+            config=config,
+            accountant=accountant,
+            k=k,
+        )
+
+    def fit_sample(
+        self,
+        table: Table,
+        rng: Optional[np.random.Generator] = None,
+        n: Optional[int] = None,
+    ) -> Table:
+        """Full pipeline: fit, then sample a synthetic table."""
+        if rng is None:
+            rng = np.random.default_rng()
+        return self.fit(table, rng).sample(n, rng)
+
+    # ------------------------------------------------------------------
+    def _fit_binary(self, table, score, epsilon1, epsilon2, accountant, rng):
+        config = self.config
+        d = table.d
+        k = config.k
+        if k is None:
+            k = choose_k_binary(table.n, d, epsilon2, config.theta)
+        k = min(k, d - 1)
+        if k == 0 or d == 1:
+            # Only one possible structure: skip the exponential mechanism
+            # and give the whole budget to the marginals (footnote 6).
+            epsilon2 = config.epsilon
+            network = BayesianNetwork(
+                [APPair.make(name, []) for name in table.attribute_names]
+            )
+        else:
+            if not config.oracle_network:
+                accountant.charge("network-learning (exponential mechanism)", epsilon1)
+            network = greedy_bayes_fixed_k(
+                table,
+                k,
+                None if config.oracle_network else epsilon1,
+                score=score,
+                rng=rng,
+                first_attribute=config.first_attribute,
+            )
+        model = noisy_conditionals_fixed_k(
+            table,
+            network,
+            k,
+            None if config.oracle_marginals else epsilon2,
+            rng,
+            accountant,
+        )
+        return model, k
+
+    def _fit_general(self, table, score, epsilon1, epsilon2, accountant, rng):
+        config = self.config
+        if score == "F":
+            raise ValueError("score 'F' is not computable on general domains")
+        if table.d == 1:
+            epsilon2 = config.epsilon
+            network = BayesianNetwork(
+                [APPair.make(name, []) for name in table.attribute_names]
+            )
+        else:
+            if not config.oracle_network:
+                accountant.charge("network-learning (exponential mechanism)", epsilon1)
+            network = greedy_bayes_theta(
+                table,
+                None if config.oracle_network else epsilon1,
+                epsilon2,
+                config.theta,
+                score=score,
+                generalize=config.generalize,
+                rng=rng,
+                first_attribute=config.first_attribute,
+            )
+        return noisy_conditionals_general(
+            table,
+            network,
+            None if config.oracle_marginals else epsilon2,
+            rng,
+            accountant,
+        )

@@ -1,0 +1,181 @@
+"""Score functions for exponential-mechanism AP-pair selection.
+
+Three score functions, matching Table 4 of the paper:
+
+* ``I(X, Π)`` — mutual information (Section 4.2).  Sensitivity per
+  Lemma 4.1; large relative to its range, hence noisy selection.
+* ``F(X, Π)`` — negative half L1 distance to the closest *maximum* joint
+  distribution (Equation 7).  Sensitivity ``1/n`` (Theorem 4.5).  Exact
+  computation is NP-hard in general (Theorem 5.1); for a binary child the
+  pseudo-polynomial dynamic program of Section 4.4 (with dominated-state
+  pruning, Definition 4.6) computes it in ``O(n * |dom(Π)|)``.
+* ``R(X, Π)`` — half L1 distance to the independent (zero mutual
+  information) joint (Equation 11).  Sensitivity ``3/n + 2/n²``
+  (Theorem 5.3); computable on any domain.
+
+All functions take the empirical joint ``Pr[Π, X]`` as a flat vector with
+the child attribute innermost (the layout produced by
+:func:`repro.data.marginals.marginal_counts` with the child listed last).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.infotheory.measures import mutual_information
+
+# ---------------------------------------------------------------------------
+# Mutual information I and its sensitivity (Lemma 4.1)
+# ---------------------------------------------------------------------------
+
+
+def score_I(joint: np.ndarray, child_size: int) -> float:
+    """Mutual information score (Section 4.2)."""
+    return mutual_information(joint, child_size)
+
+
+def sensitivity_I(n: int, binary: bool) -> float:
+    """``S(I)`` per Lemma 4.1.
+
+    ``binary`` means the child *or* the parent set has a binary domain.
+    """
+    if n <= 1:
+        # Degenerate single-tuple dataset: fall back to the range bound.
+        return 1.0
+    n = float(n)
+    if binary:
+        return (1.0 / n) * math.log2(n) + ((n - 1.0) / n) * math.log2(n / (n - 1.0))
+    return (2.0 / n) * math.log2((n + 1.0) / 2.0) + (
+        (n - 1.0) / n
+    ) * math.log2((n + 1.0) / (n - 1.0))
+
+
+# ---------------------------------------------------------------------------
+# Surrogate F (Sections 4.3-4.4): binary child, dynamic program
+# ---------------------------------------------------------------------------
+
+
+def _pareto_prune(a: np.ndarray, b: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Keep only non-dominated (a, b) states (Definition 4.6), vectorized.
+
+    Sorts by ``a`` descending / ``b`` descending and keeps states whose
+    ``b`` strictly exceeds every ``b`` seen at a larger-or-equal ``a``.
+    """
+    order = np.lexsort((-b, -a))
+    a = a[order]
+    b = b[order]
+    best_b = np.maximum.accumulate(b)
+    # A state survives when its b sets a new running maximum (ties resolved
+    # by keeping the first occurrence, i.e. the one with the largest a).
+    keep = np.empty(b.size, dtype=bool)
+    keep[0] = True
+    keep[1:] = b[1:] > best_b[:-1]
+    return a[keep], b[keep]
+
+
+def score_F(joint_counts: np.ndarray, n: int) -> float:
+    """Exact ``F(X, Π)`` for a binary child via the Section 4.4 DP.
+
+    Parameters
+    ----------
+    joint_counts:
+        Integer contingency counts laid out as ``Pr[Π, X]`` with the binary
+        child innermost: a flat vector of length ``2 * |dom(Π)|`` whose
+        entry ``2j + x`` counts tuples with ``Π = π_j, X = x``.
+    n:
+        Number of tuples (the counts must sum to ``n``).
+
+    Returns the (non-positive) score
+    ``F = -min_{Pr⋄} ||Pr - Pr⋄||_1 / 2`` over all maximum joint
+    distributions ``Pr⋄`` (Equation 7), evaluated through the reachable
+    ``(K0, K1)`` mass states of Equation 10 with dominated-state pruning
+    (Definition 4.6) — ``O(n · |dom(Π)|)`` overall.
+    """
+    counts = np.asarray(joint_counts)
+    if counts.size % 2 != 0:
+        raise ValueError("F requires a binary child (even-length joint)")
+    matrix = counts.reshape(-1, 2)
+    int_matrix = np.rint(matrix).astype(np.int64)
+    if not np.allclose(matrix, int_matrix):
+        raise ValueError("F expects integer contingency counts")
+    total = int(int_matrix.sum())
+    if total != n:
+        raise ValueError(f"counts sum to {total}, expected n={n}")
+    if n == 0:
+        return -0.5
+    # Each column π contributes its X=0 count to K0 or its X=1 count to K1
+    # (Equation 10).  Masses at or above n/2 saturate the objective, so
+    # coordinates are capped there to bound the frontier size.
+    cap = (n + 1) // 2
+    a = np.zeros(1, dtype=np.int64)
+    b = np.zeros(1, dtype=np.int64)
+    for c0, c1 in int_matrix:
+        new_a = np.concatenate([np.minimum(a + int(c0), cap), a])
+        new_b = np.concatenate([b, np.minimum(b + int(c1), cap)])
+        a, b = _pareto_prune(new_a, new_b)
+    shortfall = np.maximum(0.0, 0.5 - a / n) + np.maximum(0.0, 0.5 - b / n)
+    return -float(shortfall.min())
+
+
+def score_F_bruteforce(joint_counts: np.ndarray, n: int) -> float:
+    """Exponential-time reference implementation of ``F`` (for tests).
+
+    Enumerates all ``2^|dom(Π)|`` assignments of columns to ``Z⁺₀ / Z⁺₁``
+    (the equivalence classes of Section 4.4).
+    """
+    counts = np.asarray(joint_counts)
+    matrix = np.rint(counts.reshape(-1, 2)).astype(np.int64)
+    m = matrix.shape[0]
+    if m > 20:
+        raise ValueError("brute force limited to 20 parent cells")
+    if n == 0:
+        return -0.5
+    best = float("inf")
+    for mask in range(1 << m):
+        k0 = 0
+        k1 = 0
+        for j in range(m):
+            if mask & (1 << j):
+                k0 += int(matrix[j, 0])
+            else:
+                k1 += int(matrix[j, 1])
+        value = max(0.0, 0.5 - k0 / n) + max(0.0, 0.5 - k1 / n)
+        best = min(best, value)
+    return -best
+
+
+def sensitivity_F(n: int) -> float:
+    """``S(F) = 1/n`` (Theorem 4.5)."""
+    if n <= 0:
+        raise ValueError("n must be positive")
+    return 1.0 / n
+
+
+# ---------------------------------------------------------------------------
+# Surrogate R (Section 5.3): any domain
+# ---------------------------------------------------------------------------
+
+
+def score_R(joint: np.ndarray, child_size: int) -> float:
+    """``R(X, Π)`` (Equation 11): TV distance to the independent joint.
+
+    ``R = ||Pr[X, Π] - Pr[X] ⊗ Pr[Π]||_1 / 2``; by Pinsker's inequality
+    ``R ≤ sqrt(I * ln2 / 2)``, so large ``R`` witnesses large mutual
+    information.
+    """
+    joint = np.asarray(joint, dtype=float)
+    matrix = joint.reshape(-1, child_size)
+    parent = matrix.sum(axis=1, keepdims=True)
+    child = matrix.sum(axis=0, keepdims=True)
+    independent = parent @ child
+    return float(0.5 * np.abs(matrix - independent).sum())
+
+
+def sensitivity_R(n: int) -> float:
+    """``S(R) ≤ 3/n + 2/n²`` (Theorem 5.3)."""
+    if n <= 0:
+        raise ValueError("n must be positive")
+    return 3.0 / n + 2.0 / (n * n)

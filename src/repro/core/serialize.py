@@ -1,0 +1,128 @@
+"""Serialization of fitted PrivBayes models.
+
+A release consists of the network structure plus the noisy conditionals —
+everything needed to sample more synthetic data later (sampling is free
+post-processing, so resampling from a stored model costs no extra ε).
+Models round-trip through a plain-JSON document; the schema (attribute
+domains and taxonomies) is embedded so a stored model is self-contained.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Union
+
+import numpy as np
+
+from repro.bn.network import APPair, BayesianNetwork
+from repro.core.noisy_conditionals import ConditionalTable, NoisyModel
+from repro.data.attribute import Attribute, AttributeKind
+from repro.data.taxonomy import TaxonomyTree
+
+PathLike = Union[str, Path]
+
+FORMAT_VERSION = 1
+
+
+def _taxonomy_to_dict(taxonomy: TaxonomyTree) -> dict:
+    levels = []
+    for level in range(1, taxonomy.height):
+        # Recover the per-level parent arrays from the leaf maps.
+        below = taxonomy.leaf_to_level(level - 1)
+        here = taxonomy.leaf_to_level(level)
+        size_below = taxonomy.level_size(level - 1)
+        parents = [0] * size_below
+        for leaf in range(taxonomy.leaf_count):
+            parents[int(below[leaf])] = int(here[leaf])
+        levels.append(
+            {"parents": parents, "labels": list(taxonomy.level_labels(level))}
+        )
+    return {"leaves": list(taxonomy.level_labels(0)), "levels": levels}
+
+
+def _taxonomy_from_dict(data: dict) -> TaxonomyTree:
+    return TaxonomyTree(
+        data["leaves"],
+        [(lvl["parents"], lvl["labels"]) for lvl in data["levels"]],
+    )
+
+
+def _attribute_to_dict(attr: Attribute) -> dict:
+    out = {
+        "name": attr.name,
+        "values": list(attr.values),
+        "kind": attr.kind.value,
+    }
+    if attr.taxonomy is not None:
+        out["taxonomy"] = _taxonomy_to_dict(attr.taxonomy)
+    return out
+
+
+def _attribute_from_dict(data: dict) -> Attribute:
+    taxonomy = (
+        _taxonomy_from_dict(data["taxonomy"]) if "taxonomy" in data else None
+    )
+    return Attribute(
+        name=data["name"],
+        values=tuple(data["values"]),
+        kind=AttributeKind(data["kind"]),
+        taxonomy=taxonomy,
+    )
+
+
+def model_to_dict(model: NoisyModel, attributes) -> dict:
+    """Serialize a noisy model (+ schema) to a JSON-compatible dict."""
+    return {
+        "format_version": FORMAT_VERSION,
+        "attributes": [_attribute_to_dict(a) for a in attributes],
+        "network": [
+            {"child": pair.child, "parents": [list(p) for p in pair.parents]}
+            for pair in model.network
+        ],
+        "conditionals": [
+            {
+                "child": cond.child,
+                "parents": [list(p) for p in cond.parents],
+                "parent_sizes": list(cond.parent_sizes),
+                "child_size": cond.child_size,
+                "matrix": cond.matrix.tolist(),
+            }
+            for cond in model.conditionals
+        ],
+    }
+
+
+def model_from_dict(data: dict):
+    """Inverse of :func:`model_to_dict`; returns (model, attributes)."""
+    version = data.get("format_version")
+    if version != FORMAT_VERSION:
+        raise ValueError(f"unsupported model format version {version!r}")
+    attributes = [_attribute_from_dict(a) for a in data["attributes"]]
+    network = BayesianNetwork(
+        [
+            APPair.make(entry["child"], [tuple(p) for p in entry["parents"]])
+            for entry in data["network"]
+        ]
+    )
+    conditionals = tuple(
+        ConditionalTable(
+            child=entry["child"],
+            parents=tuple((name, int(level)) for name, level in entry["parents"]),
+            parent_sizes=tuple(int(s) for s in entry["parent_sizes"]),
+            child_size=int(entry["child_size"]),
+            matrix=np.asarray(entry["matrix"], dtype=float),
+        )
+        for entry in data["conditionals"]
+    )
+    return NoisyModel(network=network, conditionals=conditionals), attributes
+
+
+def save_model(model: NoisyModel, attributes, path: PathLike) -> None:
+    """Write a model (+ schema) to a JSON file."""
+    Path(path).write_text(json.dumps(model_to_dict(model, attributes)))
+
+
+def load_model(path: PathLike):
+    """Load a model saved by :func:`save_model`; returns (model, attrs)."""
+    return model_from_dict(json.loads(Path(path).read_text()))

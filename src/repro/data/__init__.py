@@ -1,0 +1,34 @@
+"""Column-store data substrate: attributes, taxonomy trees, and tables.
+
+Every dataset handled by this library is represented as a :class:`Table`:
+an ordered list of :class:`Attribute` descriptors plus one integer-coded
+numpy column per attribute.  All downstream machinery (marginals, mutual
+information, the PrivBayes pipeline, baselines) operates on these
+integer codes; string labels exist only at the boundary for decoding.
+"""
+
+from repro.data.attribute import Attribute, AttributeKind, discretize_continuous
+from repro.data.taxonomy import TaxonomyTree
+from repro.data.table import Table
+from repro.data.marginals import (
+    domain_size,
+    flatten_index,
+    joint_distribution,
+    marginal_counts,
+    normalize_distribution,
+    unflatten_index,
+)
+
+__all__ = [
+    "Attribute",
+    "AttributeKind",
+    "TaxonomyTree",
+    "Table",
+    "discretize_continuous",
+    "domain_size",
+    "flatten_index",
+    "unflatten_index",
+    "marginal_counts",
+    "joint_distribution",
+    "normalize_distribution",
+]

@@ -1,0 +1,173 @@
+"""Attribute descriptors: name, kind, integer-coded domain, optional taxonomy.
+
+An :class:`Attribute` describes one column of a :class:`~repro.data.Table`.
+The *domain* is an ordered tuple of labels; the column stores the index of
+each tuple's label within that tuple.  Continuous attributes are discretized
+into equi-width bins (the paper uses ``b = 16`` bins, Section 5.1) before
+they enter the pipeline, so every attribute the algorithms see is discrete.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.data.taxonomy import TaxonomyTree
+
+#: Default number of equi-width bins for continuous attributes (Section 5.1).
+DEFAULT_BINS = 16
+
+
+class AttributeKind(enum.Enum):
+    """The three attribute families the paper distinguishes (Section 5)."""
+
+    BINARY = "binary"
+    CATEGORICAL = "categorical"
+    CONTINUOUS = "continuous"
+
+
+@dataclass(frozen=True)
+class Attribute:
+    """Schema descriptor for a single column.
+
+    Parameters
+    ----------
+    name:
+        Column name, unique within a table.
+    values:
+        Ordered domain labels.  The column stores indices into this tuple.
+    kind:
+        One of :class:`AttributeKind`.  ``CONTINUOUS`` attributes must have
+        been discretized already; their ``values`` are bin labels.
+    taxonomy:
+        Optional generalization hierarchy used by the hierarchical encoding
+        (Section 5.1).  Level 0 of the taxonomy must equal ``values``.
+    """
+
+    name: str
+    values: Tuple[str, ...]
+    kind: AttributeKind = AttributeKind.CATEGORICAL
+    taxonomy: Optional[TaxonomyTree] = field(default=None, compare=False)
+
+    def __post_init__(self) -> None:
+        if len(self.values) < 1:
+            raise ValueError(f"attribute {self.name!r} has an empty domain")
+        if len(set(self.values)) != len(self.values):
+            raise ValueError(f"attribute {self.name!r} has duplicate labels")
+        if self.kind is AttributeKind.BINARY and len(self.values) != 2:
+            raise ValueError(
+                f"binary attribute {self.name!r} must have exactly 2 values, "
+                f"got {len(self.values)}"
+            )
+        if self.taxonomy is not None and self.taxonomy.leaf_count != len(self.values):
+            raise ValueError(
+                f"attribute {self.name!r}: taxonomy has {self.taxonomy.leaf_count} "
+                f"leaves but the domain has {len(self.values)} values"
+            )
+
+    @property
+    def size(self) -> int:
+        """Domain cardinality ``|dom(X)|``."""
+        return len(self.values)
+
+    @property
+    def is_binary(self) -> bool:
+        return self.size == 2
+
+    @property
+    def height(self) -> int:
+        """Height of the taxonomy tree; 1 when no taxonomy is attached.
+
+        Matches ``height(X)`` in Section 5.1: the number of usable
+        generalization levels, level 0 being the raw domain.
+        """
+        if self.taxonomy is None:
+            return 1
+        return self.taxonomy.height
+
+    def generalized(self, level: int) -> "Attribute":
+        """Return the generalized attribute ``X^(level)`` (Section 5.1).
+
+        Level 0 is the attribute itself.  Requires a taxonomy for levels > 0.
+        """
+        if level == 0:
+            return self
+        if self.taxonomy is None:
+            raise ValueError(
+                f"attribute {self.name!r} has no taxonomy; cannot generalize"
+            )
+        labels = self.taxonomy.level_labels(level)
+        return Attribute(
+            name=f"{self.name}^({level})",
+            values=tuple(labels),
+            kind=AttributeKind.CATEGORICAL if len(labels) > 2 else AttributeKind.BINARY,
+            taxonomy=None,
+        )
+
+    def generalization_map(self, level: int) -> np.ndarray:
+        """Integer map from raw codes to codes of ``generalized(level)``."""
+        if level == 0:
+            return np.arange(self.size, dtype=np.int64)
+        if self.taxonomy is None:
+            raise ValueError(
+                f"attribute {self.name!r} has no taxonomy; cannot generalize"
+            )
+        return self.taxonomy.leaf_to_level(level)
+
+    def encode(self, labels: Sequence[str]) -> np.ndarray:
+        """Map labels to integer codes (inverse of :meth:`decode`)."""
+        lookup = {v: i for i, v in enumerate(self.values)}
+        try:
+            return np.array([lookup[label] for label in labels], dtype=np.int64)
+        except KeyError as exc:
+            raise ValueError(
+                f"label {exc.args[0]!r} not in domain of attribute {self.name!r}"
+            ) from None
+
+    def decode(self, codes: np.ndarray) -> list:
+        """Map integer codes back to labels."""
+        values = self.values
+        return [values[int(c)] for c in codes]
+
+    @staticmethod
+    def binary(name: str, values: Tuple[str, str] = ("0", "1")) -> "Attribute":
+        """Convenience constructor for a binary attribute."""
+        return Attribute(name=name, values=values, kind=AttributeKind.BINARY)
+
+
+def discretize_continuous(
+    name: str,
+    data: np.ndarray,
+    bins: int = DEFAULT_BINS,
+    low: Optional[float] = None,
+    high: Optional[float] = None,
+) -> Tuple[Attribute, np.ndarray]:
+    """Discretize a continuous column into ``bins`` equi-width bins.
+
+    Returns the discretized :class:`Attribute` (with bin-range labels and a
+    binary taxonomy tree over the bins, per Section 5.1) together with the
+    integer-coded column.
+    """
+    if bins < 2:
+        raise ValueError("need at least 2 bins")
+    data = np.asarray(data, dtype=float)
+    lo = float(np.min(data)) if low is None else float(low)
+    hi = float(np.max(data)) if high is None else float(high)
+    if not hi > lo:
+        hi = lo + 1.0
+    edges = np.linspace(lo, hi, bins + 1)
+    codes = np.clip(np.searchsorted(edges, data, side="right") - 1, 0, bins - 1)
+    labels = tuple(
+        f"({edges[i]:g}, {edges[i + 1]:g}]" for i in range(bins)
+    )
+    taxonomy = TaxonomyTree.balanced_binary(labels)
+    attr = Attribute(
+        name=name,
+        values=labels,
+        kind=AttributeKind.CONTINUOUS,
+        taxonomy=taxonomy,
+    )
+    return attr, codes.astype(np.int64)

@@ -1,0 +1,129 @@
+"""Marginal and joint-distribution materialization over integer-coded tables.
+
+Joint distributions over attribute subsets are stored as flat numpy vectors
+indexed in mixed radix: for attributes ``(A_1, ..., A_m)`` with sizes
+``(s_1, ..., s_m)``, the cell for values ``(v_1, ..., v_m)`` sits at
+``v_1 * s_2 * ... * s_m + v_2 * s_3 * ... * s_m + ... + v_m`` (row-major,
+first attribute most significant).  This is the representation PrivBayes
+perturbs in its distribution-learning phase.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.data.table import Table
+
+
+def domain_size(sizes: Sequence[int]) -> int:
+    """Product of domain sizes; 1 for the empty attribute set."""
+    size = 1
+    for s in sizes:
+        size *= int(s)
+    return size
+
+
+def flatten_index(codes: np.ndarray, sizes: Sequence[int]) -> np.ndarray:
+    """Mixed-radix flatten: ``(n, m)`` code matrix -> ``(n,)`` flat indices."""
+    codes = np.asarray(codes, dtype=np.int64)
+    if codes.ndim == 1:
+        codes = codes[:, None]
+    if codes.shape[1] != len(sizes):
+        raise ValueError(
+            f"code matrix has {codes.shape[1]} columns, expected {len(sizes)}"
+        )
+    flat = np.zeros(codes.shape[0], dtype=np.int64)
+    for j, size in enumerate(sizes):
+        flat = flat * int(size) + codes[:, j]
+    return flat
+
+
+def unflatten_index(flat: np.ndarray, sizes: Sequence[int]) -> np.ndarray:
+    """Inverse of :func:`flatten_index`: flat indices -> code matrix."""
+    flat = np.asarray(flat, dtype=np.int64)
+    out = np.zeros((flat.shape[0], len(sizes)), dtype=np.int64)
+    for j in range(len(sizes) - 1, -1, -1):
+        size = int(sizes[j])
+        out[:, j] = flat % size
+        flat = flat // size
+    return out
+
+
+def marginal_counts(table: Table, names: Sequence[str]) -> np.ndarray:
+    """Contingency counts of the named attributes as a flat vector.
+
+    The result has ``prod(sizes)`` entries summing to ``table.n``.
+    An empty ``names`` yields the single count ``[n]``.
+    """
+    sizes = [table.attribute(name).size for name in names]
+    total = domain_size(sizes)
+    if not names:
+        return np.array([float(table.n)])
+    codes = np.stack([table.column(name) for name in names], axis=1)
+    flat = flatten_index(codes, sizes)
+    return np.bincount(flat, minlength=total).astype(float)
+
+
+def joint_distribution(table: Table, names: Sequence[str]) -> np.ndarray:
+    """Empirical joint probability vector ``Pr[A_1, ..., A_m]``."""
+    counts = marginal_counts(table, names)
+    if table.n == 0:
+        return np.full_like(counts, 1.0 / counts.size)
+    return counts / float(table.n)
+
+
+def normalize_distribution(vector: np.ndarray) -> np.ndarray:
+    """Clamp negatives to zero and renormalize to total mass 1.
+
+    This is the post-processing of Algorithm 1 line 5 / Algorithm 3 line 5.
+    Falls back to the uniform distribution when everything is clipped away.
+    """
+    clipped = np.clip(np.asarray(vector, dtype=float), 0.0, None)
+    total = clipped.sum()
+    if total <= 0.0:
+        return np.full_like(clipped, 1.0 / clipped.size)
+    return clipped / total
+
+
+def project_distribution(
+    dist: np.ndarray,
+    sizes: Sequence[int],
+    keep: Sequence[int],
+) -> np.ndarray:
+    """Marginalize a flat joint distribution onto the ``keep`` axes.
+
+    ``keep`` lists axis positions (into ``sizes``) to retain, in the order
+    they should appear in the output.
+    """
+    sizes = [int(s) for s in sizes]
+    grid = np.asarray(dist, dtype=float).reshape(sizes)
+    drop = tuple(i for i in range(len(sizes)) if i not in set(keep))
+    reduced = grid.sum(axis=drop) if drop else grid
+    kept_order = [i for i in range(len(sizes)) if i in set(keep)]
+    # reduced's axes follow kept_order; permute them into the requested order.
+    perm = [kept_order.index(i) for i in keep]
+    return np.transpose(reduced, perm).reshape(-1)
+
+
+def conditional_from_joint(
+    joint: np.ndarray, child_size: int
+) -> np.ndarray:
+    """Derive ``Pr[X | Π]`` from a flat ``Pr[Π, X]`` vector.
+
+    The joint must be laid out with the parent block most significant and
+    the child as the innermost (fastest-varying) axis, i.e. shape
+    ``(|dom(Π)|, child_size)`` after reshaping.  Rows with zero mass become
+    uniform over the child (they are never reachable when sampling from the
+    same model, but keep the output a valid stochastic matrix).
+    """
+    joint = np.asarray(joint, dtype=float)
+    if joint.size % child_size != 0:
+        raise ValueError("joint size is not a multiple of child domain size")
+    matrix = joint.reshape(-1, child_size).copy()
+    row_sums = matrix.sum(axis=1, keepdims=True)
+    zero_rows = (row_sums <= 0.0).reshape(-1)
+    matrix[zero_rows] = 1.0 / child_size
+    row_sums = matrix.sum(axis=1, keepdims=True)
+    return matrix / row_sums

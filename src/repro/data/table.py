@@ -1,0 +1,206 @@
+"""Integer-coded column-store table.
+
+A :class:`Table` is the dataset abstraction used throughout the library:
+an ordered list of :class:`~repro.data.Attribute` descriptors and one
+``int64`` numpy column per attribute.  Tables are immutable by convention
+(methods return new tables); columns are never mutated in place.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.data.attribute import Attribute
+
+
+class Table:
+    """A dataset: attributes plus integer-coded columns.
+
+    Parameters
+    ----------
+    attributes:
+        Ordered schema.  Names must be unique.
+    columns:
+        Mapping from attribute name to an ``int64`` array of codes in
+        ``[0, attr.size)``.  All columns must have equal length.
+    """
+
+    def __init__(
+        self,
+        attributes: Sequence[Attribute],
+        columns: Mapping[str, np.ndarray],
+    ) -> None:
+        self._attributes: Tuple[Attribute, ...] = tuple(attributes)
+        names = [a.name for a in self._attributes]
+        if len(set(names)) != len(names):
+            raise ValueError("duplicate attribute names")
+        if set(columns) != set(names):
+            raise ValueError(
+                f"columns {sorted(columns)} do not match schema {sorted(names)}"
+            )
+        self._columns: Dict[str, np.ndarray] = {}
+        n = None
+        for attr in self._attributes:
+            col = np.asarray(columns[attr.name], dtype=np.int64)
+            if col.ndim != 1:
+                raise ValueError(f"column {attr.name!r} must be 1-dimensional")
+            if n is None:
+                n = col.shape[0]
+            elif col.shape[0] != n:
+                raise ValueError("columns have differing lengths")
+            if col.size and (col.min() < 0 or col.max() >= attr.size):
+                raise ValueError(
+                    f"column {attr.name!r} has codes outside [0, {attr.size})"
+                )
+            self._columns[attr.name] = col
+        self._n = 0 if n is None else int(n)
+        self._by_name: Dict[str, Attribute] = {a.name: a for a in self._attributes}
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        """Number of tuples."""
+        return self._n
+
+    @property
+    def d(self) -> int:
+        """Number of attributes."""
+        return len(self._attributes)
+
+    @property
+    def attributes(self) -> Tuple[Attribute, ...]:
+        return self._attributes
+
+    @property
+    def attribute_names(self) -> Tuple[str, ...]:
+        return tuple(a.name for a in self._attributes)
+
+    def attribute(self, name: str) -> Attribute:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise KeyError(f"no attribute named {name!r}") from None
+
+    def column(self, name: str) -> np.ndarray:
+        """The integer-coded column for ``name`` (do not mutate)."""
+        if name not in self._columns:
+            raise KeyError(f"no attribute named {name!r}")
+        return self._columns[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    def __len__(self) -> int:
+        return self._n
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Table(n={self._n}, d={self.d}, attrs={list(self.attribute_names)})"
+
+    @property
+    def domain_size(self) -> int:
+        """Product of attribute cardinalities (the ``m`` of Section 1)."""
+        size = 1
+        for attr in self._attributes:
+            size *= attr.size
+        return size
+
+    # ------------------------------------------------------------------
+    # Derivations
+    # ------------------------------------------------------------------
+    def project(self, names: Sequence[str]) -> "Table":
+        """Keep only the named attributes, in the given order."""
+        attrs = [self.attribute(name) for name in names]
+        cols = {name: self._columns[name] for name in names}
+        return Table(attrs, cols)
+
+    def take(self, indices: np.ndarray) -> "Table":
+        """Row subset/reorder by integer indices."""
+        indices = np.asarray(indices)
+        cols = {name: col[indices] for name, col in self._columns.items()}
+        return Table(self._attributes, cols)
+
+    def head(self, k: int) -> "Table":
+        return self.take(np.arange(min(k, self._n)))
+
+    def split(self, fraction: float, rng: np.random.Generator) -> Tuple["Table", "Table"]:
+        """Random split into (first, second) with ``fraction`` of rows first.
+
+        Used for the 80/20 train/test protocol of Section 6.1.
+        """
+        if not 0.0 < fraction < 1.0:
+            raise ValueError("fraction must be in (0, 1)")
+        perm = rng.permutation(self._n)
+        cut = int(round(self._n * fraction))
+        return self.take(perm[:cut]), self.take(perm[cut:])
+
+    def with_column(self, attr: Attribute, codes: np.ndarray) -> "Table":
+        """New table with one extra column appended."""
+        if attr.name in self._by_name:
+            raise ValueError(f"attribute {attr.name!r} already present")
+        cols = dict(self._columns)
+        cols[attr.name] = np.asarray(codes, dtype=np.int64)
+        return Table(self._attributes + (attr,), cols)
+
+    def drop(self, names: Iterable[str]) -> "Table":
+        drop_set = set(names)
+        keep = [a.name for a in self._attributes if a.name not in drop_set]
+        return self.project(keep)
+
+    def records(self) -> np.ndarray:
+        """All rows as an ``(n, d)`` code matrix, in schema order."""
+        if self.d == 0:
+            return np.empty((self._n, 0), dtype=np.int64)
+        return np.stack([self._columns[a.name] for a in self._attributes], axis=1)
+
+    def decoded_records(self, limit: Optional[int] = None) -> List[Tuple]:
+        """Rows as tuples of labels (for display / export)."""
+        count = self._n if limit is None else min(limit, self._n)
+        matrix = self.records()[:count]
+        rows = []
+        for row in matrix:
+            rows.append(
+                tuple(
+                    self._attributes[j].values[int(code)]
+                    for j, code in enumerate(row)
+                )
+            )
+        return rows
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @staticmethod
+    def from_records(
+        attributes: Sequence[Attribute], matrix: np.ndarray
+    ) -> "Table":
+        """Build a table from an ``(n, d)`` code matrix in schema order."""
+        matrix = np.asarray(matrix, dtype=np.int64)
+        if matrix.ndim != 2 or matrix.shape[1] != len(attributes):
+            raise ValueError(
+                f"matrix shape {matrix.shape} does not match {len(attributes)} attributes"
+            )
+        cols = {
+            attr.name: matrix[:, j].copy() for j, attr in enumerate(attributes)
+        }
+        return Table(attributes, cols)
+
+    @staticmethod
+    def from_labels(
+        attributes: Sequence[Attribute],
+        rows: Sequence[Sequence[str]],
+    ) -> "Table":
+        """Build a table from label tuples (encoding each via its attribute)."""
+        columns: Dict[str, List[str]] = {a.name: [] for a in attributes}
+        for row in rows:
+            if len(row) != len(attributes):
+                raise ValueError("row length does not match schema")
+            for attr, label in zip(attributes, row):
+                columns[attr.name].append(label)
+        encoded = {
+            attr.name: attr.encode(columns[attr.name]) for attr in attributes
+        }
+        return Table(attributes, encoded)

@@ -1,0 +1,85 @@
+"""ACS: IPUMS-USA American Community Survey sample (47,461 rows, 23 binary).
+
+The paper's ACS extract consists of 23 binary person/household flags from
+the 2013-2014 ACS samples.  The generator reproduces the flavour of that
+extract: household/economic flags driven by a latent socioeconomic score,
+life-cycle flags driven by a latent age score, and a few direct couplings
+(a mortgage requires owning a dwelling; school attendance is a young-age
+phenomenon; veteran status implies adulthood).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.data.attribute import Attribute
+from repro.data.table import Table
+
+DEFAULT_N = 47_461
+
+#: (name, socioeconomic weight, age weight, offset)
+_FLAGS = (
+    ("owns_dwelling", 1.6, 0.8, -0.4),
+    ("has_mortgage", 1.2, 0.3, -0.8),
+    ("multi_generation", -0.4, 0.2, -1.6),
+    ("attends_school", -0.2, -2.4, -0.9),
+    ("is_male", 0.0, 0.0, 0.0),
+    ("is_married", 0.5, 1.4, -0.6),
+    ("has_children_at_home", 0.2, 0.3, -0.7),
+    ("employed", 1.3, -0.5, 0.5),
+    ("works_full_time", 1.1, -0.4, 0.1),
+    ("self_employed", 0.4, 0.5, -2.0),
+    ("veteran", 0.1, 1.2, -2.2),
+    ("has_disability", -0.8, 1.1, -1.5),
+    ("has_health_insurance", 1.2, 0.6, 0.8),
+    ("college_degree", 1.8, 0.0, -0.9),
+    ("speaks_english_only", 0.3, 0.4, 0.9),
+    ("born_in_state", -0.1, -0.3, 0.2),
+    ("moved_last_year", -0.3, -1.1, -1.2),
+    ("has_vehicle", 1.1, 0.4, 1.0),
+    ("urban_residence", 0.3, -0.3, 0.6),
+    ("receives_assistance", -1.6, -0.2, -1.4),
+    ("pays_rent", -1.4, -0.7, -0.3),
+    ("has_broadband", 1.0, -0.6, 0.7),
+    ("multiple_earners", 0.9, 0.1, -0.5),
+)
+
+#: Direct structural couplings: (cause, effect, strength in log-odds).
+_COUPLINGS = (
+    ("owns_dwelling", "has_mortgage", 2.6),
+    ("owns_dwelling", "pays_rent", -3.0),
+    ("employed", "works_full_time", 2.4),
+    ("is_married", "multiple_earners", 1.8),
+    ("attends_school", "employed", -1.0),
+    ("college_degree", "has_broadband", 1.0),
+)
+
+
+def _sigmoid(x: np.ndarray) -> np.ndarray:
+    return 1.0 / (1.0 + np.exp(-x))
+
+
+def load_acs(n: Optional[int] = None, seed: int = 0) -> Table:
+    """Generate the ACS stand-in (schema-faithful; see module docstring)."""
+    n = DEFAULT_N if n is None else int(n)
+    rng = np.random.default_rng(seed)
+    socioeconomic = rng.standard_normal(n)
+    age = rng.standard_normal(n)
+    columns = {}
+    base_logits = {}
+    for name, socio_w, age_w, offset in _FLAGS:
+        logit = (
+            socio_w * socioeconomic
+            + age_w * age
+            + offset
+            + 0.4 * rng.standard_normal(n)
+        )
+        base_logits[name] = logit
+        columns[name] = (rng.random(n) < _sigmoid(logit)).astype(np.int64)
+    for cause, effect, strength in _COUPLINGS:
+        boosted = _sigmoid(base_logits[effect] + strength * (2 * columns[cause] - 1))
+        columns[effect] = (rng.random(n) < boosted).astype(np.int64)
+    attrs = [Attribute.binary(name, ("no", "yes")) for name, _, _, _ in _FLAGS]
+    return Table(attrs, columns)

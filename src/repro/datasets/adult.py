@@ -1,0 +1,331 @@
+"""Adult: UCI 1994 US Census extract (45,222 rows, 15 mixed attributes).
+
+Schema-faithful generator for the classic Adult dataset: the real attribute
+names and domains (including the 41-country ``native_country``), taxonomy
+trees over the categorical attributes (the ``workclass`` tree is exactly
+Figure 3 of the paper), and 16-bin discretization for the six continuous
+attributes.  Row generation follows the dataset's well-known dependencies:
+education drives occupation and salary, age drives marital status and
+capital income, sex skews hours and salary, and so on.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.data.attribute import Attribute, AttributeKind, discretize_continuous
+from repro.data.table import Table
+from repro.data.taxonomy import TaxonomyTree
+
+DEFAULT_N = 45_222
+
+WORKCLASS = (
+    "Self-emp-inc",
+    "Self-emp-not-inc",
+    "Federal-gov",
+    "State-gov",
+    "Local-gov",
+    "Private",
+    "Without-pay",
+    "Never-worked",
+)
+
+#: Figure 3 of the paper, verbatim.
+WORKCLASS_GROUPS = (
+    ("Self-employed", ("Self-emp-inc", "Self-emp-not-inc")),
+    ("Government", ("Federal-gov", "State-gov", "Local-gov")),
+    ("Private", ("Private",)),
+    ("Unemployed", ("Without-pay", "Never-worked")),
+)
+
+EDUCATION = (
+    "Preschool",
+    "1st-4th",
+    "5th-6th",
+    "7th-8th",
+    "9th",
+    "10th",
+    "11th",
+    "12th",
+    "HS-grad",
+    "Some-college",
+    "Assoc-voc",
+    "Assoc-acdm",
+    "Bachelors",
+    "Masters",
+    "Prof-school",
+    "Doctorate",
+)
+
+EDUCATION_GROUPS = (
+    ("Dropout", ("Preschool", "1st-4th", "5th-6th", "7th-8th", "9th", "10th", "11th", "12th")),
+    ("HS-level", ("HS-grad", "Some-college")),
+    ("Associate", ("Assoc-voc", "Assoc-acdm")),
+    ("Post-secondary", ("Bachelors", "Masters", "Prof-school", "Doctorate")),
+)
+
+MARITAL = (
+    "Never-married",
+    "Married-civ-spouse",
+    "Married-AF-spouse",
+    "Married-spouse-absent",
+    "Separated",
+    "Divorced",
+    "Widowed",
+)
+
+MARITAL_GROUPS = (
+    ("Single", ("Never-married",)),
+    ("Married", ("Married-civ-spouse", "Married-AF-spouse", "Married-spouse-absent")),
+    ("Was-married", ("Separated", "Divorced", "Widowed")),
+)
+
+OCCUPATION = (
+    "Exec-managerial",
+    "Prof-specialty",
+    "Tech-support",
+    "Sales",
+    "Adm-clerical",
+    "Craft-repair",
+    "Machine-op-inspct",
+    "Transport-moving",
+    "Handlers-cleaners",
+    "Farming-fishing",
+    "Other-service",
+    "Protective-serv",
+    "Priv-house-serv",
+    "Armed-Forces",
+)
+
+OCCUPATION_GROUPS = (
+    ("White-collar", ("Exec-managerial", "Prof-specialty", "Tech-support", "Sales", "Adm-clerical")),
+    ("Blue-collar", ("Craft-repair", "Machine-op-inspct", "Transport-moving", "Handlers-cleaners", "Farming-fishing")),
+    ("Service", ("Other-service", "Protective-serv", "Priv-house-serv", "Armed-Forces")),
+)
+
+RELATIONSHIP = (
+    "Husband",
+    "Wife",
+    "Own-child",
+    "Other-relative",
+    "Unmarried",
+    "Not-in-family",
+)
+
+RACE = ("White", "Black", "Asian-Pac-Islander", "Amer-Indian-Eskimo", "Other")
+
+RACE_GROUPS = (
+    ("White", ("White",)),
+    ("Non-white", ("Black", "Asian-Pac-Islander", "Amer-Indian-Eskimo", "Other")),
+)
+
+SEX = ("Female", "Male")
+
+#: The 41 native countries of the real dataset, grouped by region
+#: ("according to the CIA World Factbook", Section 5.1).
+COUNTRY_REGIONS = (
+    ("North-America", ("United-States", "Canada", "Mexico", "Outlying-US(Guam-USVI-etc)")),
+    ("Central-America", ("Cuba", "Jamaica", "Honduras", "Puerto-Rico", "Haiti",
+                         "Dominican-Republic", "El-Salvador", "Guatemala", "Nicaragua",
+                         "Trinadad&Tobago")),
+    ("South-America", ("Columbia", "Ecuador", "Peru",)),
+    ("Western-Europe", ("England", "Germany", "Ireland", "France", "Scotland",
+                        "Holand-Netherlands", "Italy", "Portugal")),
+    ("Eastern-Europe", ("Poland", "Hungary", "Yugoslavia", "Greece")),
+    ("Asia", ("India", "Iran", "Philippines", "Cambodia", "Thailand", "Laos",
+              "Taiwan", "China", "Japan", "Vietnam", "Hong", "South")),
+)
+
+COUNTRIES = tuple(c for _, members in COUNTRY_REGIONS for c in members)
+
+
+def _categorical(name, values, groups=None, kind=AttributeKind.CATEGORICAL):
+    taxonomy = TaxonomyTree.from_groups(values, groups) if groups else None
+    return Attribute(name=name, values=values, kind=kind, taxonomy=taxonomy)
+
+
+def _choice_rows(rng, probs):
+    """Vectorized categorical draw: one row of probabilities per sample."""
+    cdf = np.cumsum(probs, axis=1)
+    cdf[:, -1] = 1.0
+    return (rng.random(probs.shape[0])[:, None] > cdf).sum(axis=1).astype(np.int64)
+
+
+def _sigmoid(x):
+    return 1.0 / (1.0 + np.exp(-x))
+
+
+def load_adult(n: Optional[int] = None, seed: int = 0) -> Table:
+    """Generate the Adult stand-in (schema-faithful; see module docstring)."""
+    n = DEFAULT_N if n is None else int(n)
+    rng = np.random.default_rng(seed)
+
+    age = 17.0 + 73.0 * rng.beta(2.0, 3.5, size=n)
+    sex = (rng.random(n) < 0.675).astype(np.int64)  # 1 = Male
+
+    # Education: index 0..15, pushed up for prime-age workers.
+    edu_score = rng.normal(9.5 + 1.2 * (age > 25) - 1.5 * (age < 21), 2.8, size=n)
+    education = np.clip(np.rint(edu_score), 0, len(EDUCATION) - 1).astype(np.int64)
+    education_num = np.clip(education + 1 + rng.normal(0, 0.3, n), 1, 16)
+
+    # Workclass: mostly Private; self-employment grows with age,
+    # never-worked concentrates among the young.
+    wc_logits = np.zeros((n, len(WORKCLASS)))
+    wc_logits[:, WORKCLASS.index("Private")] = 2.2
+    wc_logits[:, WORKCLASS.index("Self-emp-not-inc")] = 0.2 + 0.02 * (age - 40)
+    wc_logits[:, WORKCLASS.index("Self-emp-inc")] = -0.6 + 0.03 * (age - 45)
+    wc_logits[:, WORKCLASS.index("Federal-gov")] = -0.4
+    wc_logits[:, WORKCLASS.index("State-gov")] = -0.3
+    wc_logits[:, WORKCLASS.index("Local-gov")] = 0.0
+    wc_logits[:, WORKCLASS.index("Without-pay")] = -3.0
+    wc_logits[:, WORKCLASS.index("Never-worked")] = -4.0 + 2.5 * (age < 20)
+    wc_probs = np.exp(wc_logits - wc_logits.max(axis=1, keepdims=True))
+    wc_probs /= wc_probs.sum(axis=1, keepdims=True)
+    workclass = _choice_rows(rng, wc_probs)
+
+    # Marital status: driven by age.
+    m_logits = np.zeros((n, len(MARITAL)))
+    m_logits[:, MARITAL.index("Never-married")] = 2.5 - 0.09 * (age - 17)
+    m_logits[:, MARITAL.index("Married-civ-spouse")] = -1.0 + 0.07 * (age - 17)
+    m_logits[:, MARITAL.index("Married-AF-spouse")] = -4.5
+    m_logits[:, MARITAL.index("Married-spouse-absent")] = -3.0
+    m_logits[:, MARITAL.index("Separated")] = -2.6 + 0.01 * age
+    m_logits[:, MARITAL.index("Divorced")] = -2.8 + 0.045 * (age - 17)
+    m_logits[:, MARITAL.index("Widowed")] = -6.0 + 0.09 * age
+    m_probs = np.exp(m_logits - m_logits.max(axis=1, keepdims=True))
+    m_probs /= m_probs.sum(axis=1, keepdims=True)
+    marital = _choice_rows(rng, m_probs)
+
+    # Relationship follows marital status and sex.
+    married = np.isin(marital, [MARITAL.index("Married-civ-spouse"),
+                                MARITAL.index("Married-AF-spouse")])
+    relationship = np.full(n, RELATIONSHIP.index("Not-in-family"), dtype=np.int64)
+    relationship[married & (sex == 1)] = RELATIONSHIP.index("Husband")
+    relationship[married & (sex == 0)] = RELATIONSHIP.index("Wife")
+    young_single = (~married) & (age < 24)
+    relationship[young_single & (rng.random(n) < 0.7)] = RELATIONSHIP.index("Own-child")
+    leftover = (~married) & (relationship == RELATIONSHIP.index("Not-in-family"))
+    unmarried_draw = rng.random(n) < 0.3
+    relationship[leftover & unmarried_draw] = RELATIONSHIP.index("Unmarried")
+    other_draw = rng.random(n) < 0.08
+    relationship[leftover & ~unmarried_draw & other_draw] = RELATIONSHIP.index("Other-relative")
+
+    # Occupation: white-collar odds grow with education; armed forces rare.
+    occ_logits = np.zeros((n, len(OCCUPATION)))
+    edu_hi = (education_num - 9.0) / 3.0
+    for j, name in enumerate(OCCUPATION):
+        group = next(g for g, members in OCCUPATION_GROUPS if name in members)
+        if group == "White-collar":
+            occ_logits[:, j] = 0.4 + 0.9 * edu_hi
+        elif group == "Blue-collar":
+            occ_logits[:, j] = 0.5 - 0.7 * edu_hi - 0.8 * (sex == 0)
+        else:
+            occ_logits[:, j] = -0.4 - 0.1 * edu_hi
+    occ_logits[:, OCCUPATION.index("Armed-Forces")] = -5.0
+    occ_logits[:, OCCUPATION.index("Priv-house-serv")] = -3.5 + 1.0 * (sex == 0)
+    occ_probs = np.exp(occ_logits - occ_logits.max(axis=1, keepdims=True))
+    occ_probs /= occ_probs.sum(axis=1, keepdims=True)
+    occupation = _choice_rows(rng, occ_probs)
+
+    race_probs = np.array([0.855, 0.093, 0.031, 0.009, 0.012])
+    race = rng.choice(len(RACE), size=n, p=race_probs).astype(np.int64)
+
+    country = np.full(n, COUNTRIES.index("United-States"), dtype=np.int64)
+    foreign = rng.random(n) < 0.093
+    foreign_idx = np.nonzero(foreign)[0]
+    non_us = [i for i, c in enumerate(COUNTRIES) if c != "United-States"]
+    weights = np.array(
+        [3.0 if COUNTRIES[i] == "Mexico" else 1.0 for i in non_us]
+    )
+    weights /= weights.sum()
+    country[foreign_idx] = rng.choice(non_us, size=foreign_idx.size, p=weights)
+
+    hours = np.clip(
+        rng.normal(40 + 4.0 * (sex == 1) + 1.5 * edu_hi - 12.0 * (age < 20), 9.0),
+        1,
+        99,
+    )
+
+    fnlwgt = np.exp(rng.normal(11.9, 0.55, size=n))
+
+    prime_age = np.clip((age - 17) / 25.0, 0, 1.2)
+    gain_p = _sigmoid(-3.4 + 0.8 * edu_hi + 0.8 * prime_age)
+    capital_gain = np.where(
+        rng.random(n) < gain_p, np.exp(rng.normal(8.3, 1.0, n)), 0.0
+    )
+    capital_gain = np.clip(capital_gain, 0, 99_999)
+    loss_p = _sigmoid(-3.8 + 0.4 * edu_hi + 0.5 * prime_age)
+    capital_loss = np.where(
+        rng.random(n) < loss_p, np.exp(rng.normal(7.4, 0.4, n)), 0.0
+    )
+    capital_loss = np.clip(capital_loss, 0, 4_500)
+
+    white_collar = np.isin(
+        occupation,
+        [OCCUPATION.index(o) for o in ("Exec-managerial", "Prof-specialty", "Tech-support", "Sales")],
+    )
+    salary_logit = (
+        -3.1
+        + 0.55 * edu_hi * 3.0
+        + 0.035 * (np.clip(age, 17, 60) - 30)
+        + 0.03 * (hours - 40)
+        + 0.9 * (sex == 1)
+        + 0.8 * white_collar
+        + 1.2 * married
+        + 2.0 * (capital_gain > 5_000)
+    )
+    salary = (rng.random(n) < _sigmoid(salary_logit)).astype(np.int64)
+
+    # --- Assemble the schema (continuous attributes → 16 equi-width bins).
+    age_attr, age_codes = discretize_continuous("age", age, low=17, high=90)
+    fnlwgt_attr, fnlwgt_codes = discretize_continuous("fnlwgt", fnlwgt)
+    edu_num_attr, edu_num_codes = discretize_continuous(
+        "education_num", education_num, low=1, high=16
+    )
+    gain_attr, gain_codes = discretize_continuous(
+        "capital_gain", capital_gain, low=0, high=99_999
+    )
+    loss_attr, loss_codes = discretize_continuous(
+        "capital_loss", capital_loss, low=0, high=4_500
+    )
+    hours_attr, hours_codes = discretize_continuous(
+        "hours_per_week", hours, low=1, high=99
+    )
+
+    attrs = [
+        age_attr,
+        _categorical("workclass", WORKCLASS, WORKCLASS_GROUPS),
+        fnlwgt_attr,
+        _categorical("education", EDUCATION, EDUCATION_GROUPS),
+        edu_num_attr,
+        _categorical("marital_status", MARITAL, MARITAL_GROUPS),
+        _categorical("occupation", OCCUPATION, OCCUPATION_GROUPS),
+        _categorical("relationship", RELATIONSHIP),
+        _categorical("race", RACE, RACE_GROUPS),
+        Attribute("sex", SEX, AttributeKind.BINARY),
+        gain_attr,
+        loss_attr,
+        hours_attr,
+        _categorical("native_country", COUNTRIES, COUNTRY_REGIONS),
+        Attribute("salary", ("<=50K", ">50K"), AttributeKind.BINARY),
+    ]
+    columns = {
+        "age": age_codes,
+        "workclass": workclass,
+        "fnlwgt": fnlwgt_codes,
+        "education": education,
+        "education_num": edu_num_codes,
+        "marital_status": marital,
+        "occupation": occupation,
+        "relationship": relationship,
+        "race": race,
+        "sex": sex,
+        "capital_gain": gain_codes,
+        "capital_loss": loss_codes,
+        "hours_per_week": hours_codes,
+        "native_country": country,
+        "salary": salary,
+    }
+    return Table(attrs, columns)

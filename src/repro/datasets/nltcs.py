@@ -1,0 +1,116 @@
+"""NLTCS: National Long Term Care Survey (21,574 rows, 16 binary attributes).
+
+The real dataset records, for each surveyed person, whether they are unable
+to perform each of 16 activities of daily living (ADLs) and instrumental
+activities (IADLs).  Disabilities are strongly positively correlated and
+roughly ordered by severity.
+
+The generator reproduces that structure with a latent frailty variable:
+each person draws a frailty score, each activity has a difficulty
+threshold, and a handful of direct implications tie closely related
+activities together (e.g. being unable to get about outside makes being
+unable to travel very likely).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.data.attribute import Attribute
+from repro.data.table import Table
+
+DEFAULT_N = 21_574
+
+#: The 16 activity attributes of the survey, roughly easiest → hardest.
+ACTIVITIES = (
+    "eating",
+    "getting_in_out_bed",
+    "getting_about_inside",
+    "dressing",
+    "bathing",
+    "using_toilet",
+    "doing_heavy_housework",
+    "doing_light_housework",
+    "doing_laundry",
+    "cooking",
+    "grocery_shopping",
+    "getting_about_outside",
+    "traveling",
+    "managing_money",
+    "taking_medicine",
+    "telephoning",
+)
+
+#: Difficulty offsets: larger → more people are unable to do it.
+_DIFFICULTY = {
+    "eating": -2.8,
+    "getting_in_out_bed": -2.2,
+    "getting_about_inside": -1.9,
+    "dressing": -2.3,
+    "bathing": -1.6,
+    "using_toilet": -2.1,
+    "doing_heavy_housework": 0.2,
+    "doing_light_housework": -1.8,
+    "doing_laundry": -1.2,
+    "cooking": -1.5,
+    "grocery_shopping": -0.7,
+    "getting_about_outside": -0.9,
+    "traveling": -0.6,
+    "managing_money": -1.4,
+    "taking_medicine": -1.7,
+    "telephoning": -2.0,
+}
+
+#: Direct implications (a, b, strength): being unable to do `a` adds
+#: `strength` to the log-odds of being unable to do `b`.  Topologically
+#: ordered: every cause is finalized before any effect derived from it.
+_IMPLICATIONS = (
+    ("getting_in_out_bed", "getting_about_inside", 1.8),
+    ("getting_about_inside", "getting_about_outside", 2.0),
+    ("getting_about_outside", "traveling", 2.5),
+    ("using_toilet", "bathing", 1.3),
+    ("bathing", "dressing", 1.5),
+    ("doing_heavy_housework", "doing_laundry", 1.2),
+    ("cooking", "grocery_shopping", 1.4),
+    ("managing_money", "telephoning", 1.1),
+)
+
+
+def _sigmoid(x: np.ndarray) -> np.ndarray:
+    return 1.0 / (1.0 + np.exp(-x))
+
+
+def load_nltcs(n: Optional[int] = None, seed: int = 0) -> Table:
+    """Generate the NLTCS stand-in (schema-faithful; see module docstring).
+
+    Parameters
+    ----------
+    n:
+        Number of rows; defaults to the paper's 21,574.
+    seed:
+        Row-sampling seed; the generative process itself is fixed.
+    """
+    n = DEFAULT_N if n is None else int(n)
+    rng = np.random.default_rng(seed)
+    # Latent frailty: heavy mass near zero (most respondents able), a tail
+    # of severely disabled respondents.
+    frailty = rng.gamma(shape=2.0, scale=1.0, size=n)
+    columns = {}
+    # First pass: frailty-driven marginals.
+    for name in ACTIVITIES:
+        logit = 0.9 * frailty + _DIFFICULTY[name] + 0.3 * rng.standard_normal(n)
+        columns[name] = (rng.random(n) < _sigmoid(logit)).astype(np.int64)
+    # Second pass: direct implications between closely related activities.
+    # The coupling is symmetric (±strength) so the cause carries signal
+    # beyond what the shared frailty already explains.
+    for cause, effect, strength in _IMPLICATIONS:
+        boosted = _sigmoid(
+            0.9 * frailty
+            + _DIFFICULTY[effect]
+            + strength * (2 * columns[cause] - 1)
+        )
+        columns[effect] = (rng.random(n) < boosted).astype(np.int64)
+    attrs = [Attribute.binary(name, ("able", "unable")) for name in ACTIVITIES]
+    return Table(attrs, columns)

@@ -1,0 +1,132 @@
+"""Ground-truth Bayesian-network data generators.
+
+Used both as a generic workload source for tests/benchmarks and as the
+substrate for the schema-faithful dataset generators: a ground-truth
+network with known conditionals is the natural way to produce correlated
+discrete data whose low-dimensional structure PrivBayes should recover.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.data.attribute import Attribute
+from repro.data.marginals import domain_size, flatten_index
+from repro.data.table import Table
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """One node of a ground-truth network: attribute, parents, CPT.
+
+    ``cpt`` has one row per flattened parent configuration (mixed radix
+    over the parents in listed order) and one column per attribute value;
+    rows must be stochastic.
+    """
+
+    attribute: Attribute
+    parents: Tuple[str, ...]
+    cpt: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.cpt.ndim != 2 or self.cpt.shape[1] != self.attribute.size:
+            raise ValueError(
+                f"CPT for {self.attribute.name!r} has shape {self.cpt.shape}; "
+                f"expected (*, {self.attribute.size})"
+            )
+        if not np.allclose(self.cpt.sum(axis=1), 1.0, atol=1e-8):
+            raise ValueError(f"CPT rows for {self.attribute.name!r} must sum to 1")
+
+
+def sample_network(
+    specs: Sequence[NodeSpec], n: int, rng: np.random.Generator
+) -> Table:
+    """Ancestral sampling of ``n`` rows from a ground-truth network."""
+    sampled: Dict[str, np.ndarray] = {}
+    sizes: Dict[str, int] = {}
+    for spec in specs:
+        if spec.parents:
+            parent_cols = np.stack([sampled[p] for p in spec.parents], axis=1)
+            parent_sizes = [sizes[p] for p in spec.parents]
+            rows = flatten_index(parent_cols, parent_sizes)
+        else:
+            rows = np.zeros(n, dtype=np.int64)
+        cdf = np.cumsum(spec.cpt, axis=1)
+        cdf[:, -1] = 1.0
+        uniforms = rng.random(n)
+        sampled[spec.attribute.name] = (
+            (uniforms[:, None] > cdf[rows]).sum(axis=1).astype(np.int64)
+        )
+        sizes[spec.attribute.name] = spec.attribute.size
+    attrs = [spec.attribute for spec in specs]
+    return Table(attrs, {a.name: sampled[a.name] for a in attrs})
+
+
+def random_network_specs(
+    attributes: Sequence[Attribute],
+    max_parents: int,
+    rng: np.random.Generator,
+    concentration: float = 0.4,
+) -> List[NodeSpec]:
+    """Random ground-truth network over the given schema.
+
+    Each attribute (after the first) receives up to ``max_parents`` random
+    parents from its predecessors; CPT rows are Dirichlet draws with the
+    given ``concentration`` — small values make rows near-deterministic,
+    i.e. strongly correlated data.
+    """
+    if max_parents < 0:
+        raise ValueError("max_parents must be non-negative")
+    specs: List[NodeSpec] = []
+    placed: List[Attribute] = []
+    for attr in attributes:
+        width = min(max_parents, len(placed))
+        count = int(rng.integers(0, width + 1)) if width else 0
+        parent_attrs = (
+            [placed[i] for i in rng.choice(len(placed), size=count, replace=False)]
+            if count
+            else []
+        )
+        rows = domain_size([p.size for p in parent_attrs])
+        cpt = rng.dirichlet(np.full(attr.size, concentration), size=rows)
+        specs.append(
+            NodeSpec(
+                attribute=attr,
+                parents=tuple(p.name for p in parent_attrs),
+                cpt=cpt,
+            )
+        )
+        placed.append(attr)
+    return specs
+
+
+def random_binary_table(
+    n: int,
+    d: int,
+    max_parents: int = 2,
+    concentration: float = 0.4,
+    seed: int = 0,
+    structure_seed: Optional[int] = None,
+) -> Table:
+    """Convenience: ``n`` rows of ``d`` correlated binary attributes.
+
+    ``structure_seed`` fixes the ground-truth network independently of the
+    row-sampling ``seed`` so several draws of "the same dataset" exist.
+    """
+    structure_rng = np.random.default_rng(
+        seed if structure_seed is None else structure_seed
+    )
+    attrs = [Attribute.binary(f"x{i}") for i in range(d)]
+    specs = random_network_specs(attrs, max_parents, structure_rng, concentration)
+    return sample_network(specs, n, np.random.default_rng(seed))
+
+
+def cpt_from_logits(logits: np.ndarray) -> np.ndarray:
+    """Row-softmax helper for hand-built CPTs."""
+    logits = np.asarray(logits, dtype=float)
+    shifted = logits - logits.max(axis=-1, keepdims=True)
+    weights = np.exp(shifted)
+    return weights / weights.sum(axis=-1, keepdims=True)

@@ -1,0 +1,28 @@
+"""Differential-privacy substrate: mechanisms, sensitivity, budget accounting.
+
+The two mechanisms the paper relies on (Section 2.1):
+
+* :func:`laplace_mechanism` — adds i.i.d. ``Lap(sensitivity / epsilon)``
+  noise to a numeric vector (Dwork et al.).
+* :func:`exponential_mechanism` — samples a candidate with probability
+  proportional to ``exp(score / (2 * sensitivity / epsilon))``
+  (McSherry and Talwar).
+
+A :class:`PrivacyAccountant` enforces sequential composition: every data
+access charges its ε and over-spending raises :class:`PrivacyBudgetError`.
+"""
+
+from repro.dp.mechanisms import (
+    exponential_mechanism,
+    laplace_mechanism,
+    laplace_noise,
+)
+from repro.dp.accountant import PrivacyAccountant, PrivacyBudgetError
+
+__all__ = [
+    "laplace_noise",
+    "laplace_mechanism",
+    "exponential_mechanism",
+    "PrivacyAccountant",
+    "PrivacyBudgetError",
+]

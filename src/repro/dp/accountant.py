@@ -1,0 +1,74 @@
+"""Sequential-composition privacy budget accounting.
+
+Differential privacy composes additively across sequential data accesses
+(Section 3, "composability").  The accountant is a small ledger: algorithms
+charge each access before touching the data, and the ledger refuses charges
+that would exceed the total budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+_TOLERANCE = 1e-9
+
+
+class PrivacyBudgetError(RuntimeError):
+    """Raised when a charge would exceed the remaining privacy budget."""
+
+
+@dataclass
+class PrivacyAccountant:
+    """Ledger of ε spend under sequential composition.
+
+    Parameters
+    ----------
+    total_epsilon:
+        The end-to-end budget.  Charges accumulate; exceeding the total
+        (beyond a tiny float tolerance) raises :class:`PrivacyBudgetError`.
+    """
+
+    total_epsilon: float
+    _ledger: List[Tuple[str, float]] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.total_epsilon <= 0:
+            raise ValueError("total_epsilon must be positive")
+
+    @property
+    def spent(self) -> float:
+        return sum(amount for _, amount in self._ledger)
+
+    @property
+    def remaining(self) -> float:
+        return self.total_epsilon - self.spent
+
+    @property
+    def ledger(self) -> List[Tuple[str, float]]:
+        """Copy of the (label, ε) charge history."""
+        return list(self._ledger)
+
+    def charge(self, label: str, epsilon: float) -> float:
+        """Record an ε charge; returns the ε actually granted.
+
+        Raises :class:`PrivacyBudgetError` when the charge would overdraw
+        the budget by more than floating-point tolerance.
+        """
+        if epsilon <= 0:
+            raise ValueError("charges must be positive")
+        if self.spent + epsilon > self.total_epsilon + _TOLERANCE:
+            raise PrivacyBudgetError(
+                f"charge {label!r} of ε={epsilon:g} exceeds remaining "
+                f"budget {self.remaining:g} (total ε={self.total_epsilon:g})"
+            )
+        self._ledger.append((label, float(epsilon)))
+        return float(epsilon)
+
+    def assert_exhausted(self, tolerance: float = 1e-6) -> None:
+        """Check that the whole budget was used (optional sanity check)."""
+        if abs(self.remaining) > tolerance:
+            raise PrivacyBudgetError(
+                f"budget not exhausted: {self.remaining:g} of "
+                f"{self.total_epsilon:g} remains"
+            )

@@ -1,0 +1,77 @@
+"""The Laplace and exponential mechanisms (Section 2.1)."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+
+def laplace_noise(
+    scale: float, size, rng: np.random.Generator
+) -> np.ndarray:
+    """Draw i.i.d. ``Lap(scale)`` noise (pdf ``exp(-|x|/scale) / (2 scale)``)."""
+    if scale < 0:
+        raise ValueError("Laplace scale must be non-negative")
+    if scale == 0:
+        return np.zeros(size)
+    return rng.laplace(loc=0.0, scale=scale, size=size)
+
+
+def laplace_mechanism(
+    values: np.ndarray,
+    sensitivity: float,
+    epsilon: float,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """ε-DP release of a numeric vector with the given L1 sensitivity.
+
+    Adds ``Lap(sensitivity / epsilon)`` noise to every entry (Definition 2.2
+    and the surrounding discussion).
+    """
+    if epsilon <= 0:
+        raise ValueError("epsilon must be positive")
+    if sensitivity < 0:
+        raise ValueError("sensitivity must be non-negative")
+    values = np.asarray(values, dtype=float)
+    return values + laplace_noise(sensitivity / epsilon, values.shape, rng)
+
+
+def exponential_mechanism(
+    scores: Sequence[float],
+    sensitivity: float,
+    epsilon: float,
+    rng: np.random.Generator,
+    probabilities_out: Optional[list] = None,
+) -> int:
+    """ε-DP selection of an index with probability ∝ exp(score / 2Δ).
+
+    ``Δ = sensitivity / epsilon`` is the scaling factor of Section 2.1.
+    Scores are shifted by their maximum before exponentiation for numerical
+    stability (the mechanism is invariant to constant shifts).
+
+    Parameters
+    ----------
+    probabilities_out:
+        Optional list; when given, the normalized sampling probabilities are
+        appended to it (used by tests to check the sampling distribution).
+    """
+    if epsilon <= 0:
+        raise ValueError("epsilon must be positive")
+    if sensitivity < 0:
+        raise ValueError("sensitivity must be non-negative")
+    scores = np.asarray(scores, dtype=float)
+    if scores.ndim != 1 or scores.size == 0:
+        raise ValueError("need a non-empty 1-D score array")
+    if sensitivity == 0:
+        # Scores are data-independent: pick the argmax deterministically.
+        probabilities = np.zeros_like(scores)
+        probabilities[int(np.argmax(scores))] = 1.0
+    else:
+        delta = sensitivity / epsilon
+        shifted = (scores - scores.max()) / (2.0 * delta)
+        weights = np.exp(shifted)
+        probabilities = weights / weights.sum()
+    if probabilities_out is not None:
+        probabilities_out.append(probabilities)
+    return int(rng.choice(scores.size, p=probabilities))

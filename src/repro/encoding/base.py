@@ -1,0 +1,28 @@
+"""Encoder interface shared by the four Section 5.1 encodings."""
+
+from __future__ import annotations
+
+import abc
+
+from repro.data.table import Table
+
+
+class Encoder(abc.ABC):
+    """Invertible table transform wrapped around the PrivBayes core.
+
+    ``decode(encode(t))`` must reproduce ``t`` exactly; ``decode`` must
+    also accept *any* table in the encoded schema (synthetic data may
+    contain bit patterns that never occurred in the input).
+    """
+
+    #: Whether the PrivBayes core should run taxonomy generalization
+    #: (Algorithm 6) on the encoded table.
+    uses_generalization: bool = False
+
+    @abc.abstractmethod
+    def encode(self, table: Table) -> Table:
+        """Transform the sensitive table into the encoded domain."""
+
+    @abc.abstractmethod
+    def decode(self, table: Table) -> Table:
+        """Map a table in the encoded domain back to the original schema."""

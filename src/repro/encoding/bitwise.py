@@ -1,0 +1,106 @@
+"""Binary and Gray bitwise encodings (Section 5.1, Figures 2-3).
+
+Each attribute with ℓ values becomes ``ceil(log2 ℓ)`` binary attributes
+holding the bits of the value's index — natural binary order for
+:class:`BinaryEncoder`, reflected Gray code for :class:`GrayEncoder`
+(successive values differ in one bit, improving robustness to noise).
+
+Decoding clamps out-of-domain bit patterns (indices ≥ ℓ, which synthesis
+can produce) to the largest valid index.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.data.attribute import Attribute, AttributeKind
+from repro.data.table import Table
+from repro.encoding.base import Encoder
+
+
+def bits_needed(size: int) -> int:
+    """Number of bits to represent indices ``0 .. size-1`` (min 1)."""
+    if size < 1:
+        raise ValueError("domain size must be positive")
+    return max(1, math.ceil(math.log2(size)))
+
+
+def to_gray(index: np.ndarray) -> np.ndarray:
+    """Natural binary index -> reflected Gray code."""
+    index = np.asarray(index, dtype=np.int64)
+    return index ^ (index >> 1)
+
+
+def from_gray(gray: np.ndarray) -> np.ndarray:
+    """Reflected Gray code -> natural binary index (prefix-XOR decode)."""
+    result = np.asarray(gray, dtype=np.int64).copy()
+    mask = result >> 1
+    while mask.any():
+        result ^= mask
+        mask >>= 1
+    return result
+
+
+class _BitwiseEncoder(Encoder):
+    """Shared machinery for Binary and Gray encodings."""
+
+    uses_generalization = False
+
+    def _index_transform(self, index: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def _index_inverse(self, code: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def encode(self, table: Table) -> Table:
+        attrs: List[Attribute] = []
+        cols: Dict[str, np.ndarray] = {}
+        for attr in table.attributes:
+            width = bits_needed(attr.size)
+            codes = self._index_transform(table.column(attr.name))
+            for bit in range(width):
+                # Most significant bit first, matching Figures 2-3.
+                shift = width - 1 - bit
+                bit_attr = Attribute.binary(f"{attr.name}#b{bit}")
+                attrs.append(bit_attr)
+                cols[bit_attr.name] = ((codes >> shift) & 1).astype(np.int64)
+        self._source_schema = table.attributes
+        return Table(attrs, cols)
+
+    def decode(self, table: Table) -> Table:
+        if not hasattr(self, "_source_schema"):
+            raise RuntimeError("decode called before encode")
+        attrs = self._source_schema
+        cols: Dict[str, np.ndarray] = {}
+        for attr in attrs:
+            width = bits_needed(attr.size)
+            codes = np.zeros(table.n, dtype=np.int64)
+            for bit in range(width):
+                shift = width - 1 - bit
+                codes |= table.column(f"{attr.name}#b{bit}") << shift
+            index = self._index_inverse(codes)
+            cols[attr.name] = np.clip(index, 0, attr.size - 1)
+        return Table(attrs, cols)
+
+
+class BinaryEncoder(_BitwiseEncoder):
+    """Natural binary code (the "Binary" rows of Figures 2-3)."""
+
+    def _index_transform(self, index: np.ndarray) -> np.ndarray:
+        return np.asarray(index, dtype=np.int64)
+
+    def _index_inverse(self, code: np.ndarray) -> np.ndarray:
+        return np.asarray(code, dtype=np.int64)
+
+
+class GrayEncoder(_BitwiseEncoder):
+    """Reflected Gray code (the "Gray" rows of Figures 2-3)."""
+
+    def _index_transform(self, index: np.ndarray) -> np.ndarray:
+        return to_gray(index)
+
+    def _index_inverse(self, code: np.ndarray) -> np.ndarray:
+        return from_gray(code)

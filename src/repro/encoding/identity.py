@@ -1,0 +1,37 @@
+"""Vanilla and Hierarchical encodings (Section 5.1).
+
+Both keep the data untouched: the domain of each attribute is indivisible.
+They differ only in whether the PrivBayes core may *generalize* attributes
+through their taxonomy trees during network learning — vanilla encoding is
+the special case of hierarchical encoding "where each taxonomy tree
+consists of leaf nodes only".
+"""
+
+from __future__ import annotations
+
+from repro.data.table import Table
+from repro.encoding.base import Encoder
+
+
+class VanillaEncoder(Encoder):
+    """Identity transform; attributes participate whole or not at all."""
+
+    uses_generalization = False
+
+    def encode(self, table: Table) -> Table:
+        return table
+
+    def decode(self, table: Table) -> Table:
+        return table
+
+
+class HierarchicalEncoder(Encoder):
+    """Identity transform + taxonomy-aware parent generalization."""
+
+    uses_generalization = True
+
+    def encode(self, table: Table) -> Table:
+        return table
+
+    def decode(self, table: Table) -> Table:
+        return table

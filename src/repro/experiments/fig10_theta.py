@@ -1,0 +1,66 @@
+"""Figure 10: impact of the usefulness threshold θ.
+
+x-axis: θ ∈ {1/2, 1, 2, 3, 4, 6, 8, 12}; one line per ε; β fixed at 0.3.
+Expect a wide near-optimal basin around θ ∈ [3, 6].
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core.privbayes import DEFAULT_BETA
+from repro.experiments.framework import EPSILONS, ExperimentResult
+from repro.experiments.sweep_common import SweepContext, private_release
+
+#: The paper's θ grid.
+THETAS = (0.5, 1.0, 2.0, 3.0, 4.0, 6.0, 8.0, 12.0)
+
+
+def run_theta_sweep(
+    dataset: str = "nltcs",
+    kind: str = "count",
+    thetas: Sequence[float] = THETAS,
+    epsilons: Sequence[float] = EPSILONS,
+    repeats: int = 3,
+    n: Optional[int] = None,
+    max_marginals: Optional[int] = None,
+    beta: float = DEFAULT_BETA,
+    seed: int = 0,
+) -> ExperimentResult:
+    """Reproduce one panel of Figure 10."""
+    context = SweepContext(
+        dataset, kind, n=n, max_marginals=max_marginals, seed=seed
+    )
+    result = ExperimentResult(
+        experiment=f"fig10-{dataset}-{kind}",
+        title=f"choice of theta on {dataset} ({kind})",
+        x_label="theta",
+        y_label=(
+            "average variation distance"
+            if kind == "count"
+            else "misclassification rate"
+        ),
+        x=list(thetas),
+    )
+    for eps_idx, epsilon in enumerate(epsilons):
+        values = []
+        for t_idx, theta in enumerate(thetas):
+            metrics = []
+            for r in range(repeats):
+                rng = np.random.default_rng(
+                    seed * 7919 + eps_idx * 1009 + t_idx * 101 + r
+                )
+                synthetic = private_release(
+                    context.fit_table,
+                    epsilon,
+                    beta,
+                    theta,
+                    context.is_binary,
+                    rng,
+                )
+                metrics.append(context.evaluate(synthetic))
+            values.append(float(np.mean(metrics)))
+        result.add(f"eps={epsilon}", values)
+    return result

@@ -1,0 +1,67 @@
+"""Figure 9: impact of the budget-allocation parameter β.
+
+x-axis: β ∈ {.01, .05, .1, .2, .3, .5, .7, .9}; one line per ε; one panel
+per (dataset, task) combination of Section 6.4.  Expect the U-shape with a
+flat near-optimal basin below the midpoint.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core.privbayes import DEFAULT_THETA
+from repro.experiments.framework import EPSILONS, ExperimentResult
+from repro.experiments.sweep_common import SweepContext, private_release
+
+#: The paper's β grid.
+BETAS = (0.01, 0.05, 0.1, 0.2, 0.3, 0.5, 0.7, 0.9)
+
+
+def run_beta_sweep(
+    dataset: str = "nltcs",
+    kind: str = "count",
+    betas: Sequence[float] = BETAS,
+    epsilons: Sequence[float] = EPSILONS,
+    repeats: int = 3,
+    n: Optional[int] = None,
+    max_marginals: Optional[int] = None,
+    theta: float = DEFAULT_THETA,
+    seed: int = 0,
+) -> ExperimentResult:
+    """Reproduce one panel of Figure 9."""
+    context = SweepContext(
+        dataset, kind, n=n, max_marginals=max_marginals, seed=seed
+    )
+    result = ExperimentResult(
+        experiment=f"fig9-{dataset}-{kind}",
+        title=f"choice of beta on {dataset} ({kind})",
+        x_label="beta",
+        y_label=(
+            "average variation distance"
+            if kind == "count"
+            else "misclassification rate"
+        ),
+        x=list(betas),
+    )
+    for eps_idx, epsilon in enumerate(epsilons):
+        values = []
+        for b_idx, beta in enumerate(betas):
+            metrics = []
+            for r in range(repeats):
+                rng = np.random.default_rng(
+                    seed * 7919 + eps_idx * 1009 + b_idx * 101 + r
+                )
+                synthetic = private_release(
+                    context.fit_table,
+                    epsilon,
+                    beta,
+                    theta,
+                    context.is_binary,
+                    rng,
+                )
+                metrics.append(context.evaluate(synthetic))
+            values.append(float(np.mean(metrics)))
+        result.add(f"eps={epsilon}", values)
+    return result

@@ -1,0 +1,92 @@
+"""Terminal (ASCII) line charts for experiment results.
+
+The harness is plotting-library-free by design (offline environment);
+this module renders an :class:`ExperimentResult` as a character grid so
+trends — crossovers, basins, ceilings — are visible directly in the
+terminal and in saved text reports.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.experiments.framework import ExperimentResult
+
+#: Glyphs assigned to series, in insertion order.
+GLYPHS = "ox+*#@%&"
+
+
+def _scale(value: float, low: float, high: float, steps: int) -> int:
+    if high <= low:
+        return 0
+    fraction = (value - low) / (high - low)
+    return int(round(fraction * (steps - 1)))
+
+
+def render_chart(
+    result: ExperimentResult,
+    width: int = 60,
+    height: int = 16,
+    logx: bool = False,
+) -> str:
+    """Render the result's series as an ASCII chart with a legend.
+
+    Parameters
+    ----------
+    width, height:
+        Plot-area size in characters.
+    logx:
+        Place x positions on a log scale (natural for ε grids that double).
+    """
+    if not result.series:
+        raise ValueError("result has no series to plot")
+    xs = np.asarray([float(x) for x in result.x])
+    if logx:
+        if (xs <= 0).any():
+            raise ValueError("log x-axis requires positive x values")
+        x_positions = np.log(xs)
+    else:
+        x_positions = xs
+    all_values = np.concatenate([np.asarray(v) for v in result.series.values()])
+    y_low = float(all_values.min())
+    y_high = float(all_values.max())
+    if y_high <= y_low:
+        y_high = y_low + 1.0
+    grid = [[" "] * width for _ in range(height)]
+    legend: List[Tuple[str, str]] = []
+    for index, (name, values) in enumerate(result.series.items()):
+        glyph = GLYPHS[index % len(GLYPHS)]
+        legend.append((glyph, name))
+        for x_val, y_val in zip(x_positions, values):
+            col = _scale(float(x_val), float(x_positions.min()),
+                         float(x_positions.max()), width)
+            row = height - 1 - _scale(float(y_val), y_low, y_high, height)
+            grid[row][col] = glyph
+    lines = [f"{result.title}  [{result.y_label}]"]
+    top_label = f"{y_high:.4f}"
+    bottom_label = f"{y_low:.4f}"
+    margin = max(len(top_label), len(bottom_label)) + 1
+    for i, row in enumerate(grid):
+        if i == 0:
+            prefix = top_label.rjust(margin)
+        elif i == height - 1:
+            prefix = bottom_label.rjust(margin)
+        else:
+            prefix = " " * margin
+        lines.append(prefix + "|" + "".join(row))
+    axis = " " * margin + "+" + "-" * width
+    lines.append(axis)
+    x_left = f"{result.x[0]}"
+    x_right = f"{result.x[-1]}"
+    pad = width - len(x_left) - len(x_right)
+    lines.append(
+        " " * (margin + 1) + x_left + " " * max(pad, 1) + x_right
+    )
+    lines.append(
+        " " * (margin + 1)
+        + f"{result.x_label}   "
+        + "  ".join(f"{glyph}={name}" for glyph, name in legend)
+    )
+    return "\n".join(lines)

@@ -1,0 +1,44 @@
+"""Table 5: dataset characteristics (cardinality, dimensionality, domain)."""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Optional
+
+from repro.datasets import LOADERS, TABLE5
+
+
+def run_table5(n: Optional[int] = None, seed: int = 0) -> Dict[str, Dict]:
+    """Regenerate Table 5 from the dataset generators.
+
+    Returns per dataset the generated (cardinality, dimensionality,
+    log2 domain size) alongside the paper's numbers.
+    """
+    rows = {}
+    for name, loader in LOADERS.items():
+        table = loader(n=n, seed=seed)
+        paper_card, paper_dim, paper_log_dom = TABLE5[name]
+        rows[name] = {
+            "cardinality": table.n,
+            "dimensionality": table.d,
+            "log2_domain": round(math.log2(table.domain_size), 1),
+            "paper_cardinality": paper_card,
+            "paper_dimensionality": paper_dim,
+            "paper_log2_domain": paper_log_dom,
+        }
+    return rows
+
+
+def render_table5(rows: Dict[str, Dict]) -> str:
+    lines = [
+        "== table5: Dataset characteristics ==",
+        f"{'dataset':<10}{'n':>10}{'d':>6}{'log2|dom|':>12}"
+        f"{'paper n':>10}{'paper d':>9}{'paper log2':>12}",
+    ]
+    for name, row in rows.items():
+        lines.append(
+            f"{name:<10}{row['cardinality']:>10}{row['dimensionality']:>6}"
+            f"{row['log2_domain']:>12}{row['paper_cardinality']:>10}"
+            f"{row['paper_dimensionality']:>9}{row['paper_log2_domain']:>12}"
+        )
+    return "\n".join(lines)

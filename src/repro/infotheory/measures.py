@@ -1,0 +1,86 @@
+"""Entropy, mutual information, KL divergence, total variation distance.
+
+Inputs are flat probability vectors (see :mod:`repro.data.marginals` for the
+mixed-radix layout).  Mutual information between a child attribute ``X`` and
+a parent set ``Π`` expects the joint laid out as ``Pr[Π, X]`` with the child
+innermost — the same layout :func:`repro.data.marginals.marginal_counts`
+produces when the child is listed last.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.data.marginals import marginal_counts
+from repro.data.table import Table
+
+_LOG2 = np.log(2.0)
+
+
+def entropy(dist: np.ndarray) -> float:
+    """Shannon entropy ``H`` in bits of a probability vector."""
+    p = np.asarray(dist, dtype=float)
+    nz = p[p > 0.0]
+    return float(-(nz * np.log(nz)).sum() / _LOG2)
+
+
+def conditional_entropy(joint: np.ndarray, child_size: int) -> float:
+    """``H(X | Π)`` from a flat ``Pr[Π, X]`` vector with child innermost."""
+    joint = np.asarray(joint, dtype=float)
+    matrix = joint.reshape(-1, child_size)
+    parent = matrix.sum(axis=1)
+    return entropy(joint) - entropy(parent)
+
+
+def mutual_information(joint: np.ndarray, child_size: int) -> float:
+    """``I(X, Π)`` (Equation 5) from a flat ``Pr[Π, X]`` vector.
+
+    Computed as ``H(X) + H(Π) - H(X, Π)`` (Equation 12), which is exact for
+    empirical distributions and numerically robust for sparse joints.
+    Clamped at zero: floating-point cancellation can produce tiny negatives.
+    """
+    joint = np.asarray(joint, dtype=float)
+    matrix = joint.reshape(-1, child_size)
+    h_parent = entropy(matrix.sum(axis=1))
+    h_child = entropy(matrix.sum(axis=0))
+    value = h_child + h_parent - entropy(joint)
+    return max(0.0, float(value))
+
+
+def mutual_information_from_table(
+    table: Table, child: str, parents: Sequence[str]
+) -> float:
+    """Empirical ``I(X, Π)`` of a child attribute and its parent set."""
+    if not parents:
+        return 0.0
+    counts = marginal_counts(table, list(parents) + [child])
+    total = counts.sum()
+    if total <= 0:
+        return 0.0
+    return mutual_information(counts / total, table.attribute(child).size)
+
+
+def kl_divergence(p: np.ndarray, q: np.ndarray) -> float:
+    """``D_KL(P || Q)`` in bits; ``inf`` when P puts mass where Q has none."""
+    p = np.asarray(p, dtype=float)
+    q = np.asarray(q, dtype=float)
+    if p.shape != q.shape:
+        raise ValueError("distributions must have the same shape")
+    mask = p > 0.0
+    if np.any(q[mask] <= 0.0):
+        return float("inf")
+    return float((p[mask] * np.log(p[mask] / q[mask])).sum() / _LOG2)
+
+
+def total_variation_distance(p: np.ndarray, q: np.ndarray) -> float:
+    """Total variation distance: half the L1 distance between P and Q.
+
+    This is the accuracy metric of Section 6.1 for noisy marginals.
+    """
+    p = np.asarray(p, dtype=float)
+    q = np.asarray(q, dtype=float)
+    if p.shape != q.shape:
+        raise ValueError("distributions must have the same shape")
+    return float(0.5 * np.abs(p - q).sum())

@@ -1,0 +1,10 @@
+"""Utility reporting: how much signal survived a synthetic release."""
+
+from repro.metrics.report import (
+    AttributeReport,
+    PairReport,
+    UtilityReport,
+    utility_report,
+)
+
+__all__ = ["utility_report", "UtilityReport", "AttributeReport", "PairReport"]

@@ -1,0 +1,17 @@
+"""Multi-table release: the paper's Section 7 "natural next step".
+
+The concluding remarks observe that extending PrivBayes beyond a single
+table requires care: "as we consider more complex schemas, the impact of
+an individual (and hence the scale of noise needed for privacy) may grow
+very large".  This package implements the two-table case — a primary
+table (one row per individual) linked to a child table (zero or more rows
+per individual) — with exactly that care: child-side contributions are
+bounded by truncation, and the child model's budget is scaled by the
+contribution bound (group privacy), so the end-to-end release remains
+ε-differentially private at the individual level.
+"""
+
+from repro.multitable.linked import LinkedTables
+from repro.multitable.release import TwoTableRelease, release_two_tables
+
+__all__ = ["LinkedTables", "release_two_tables", "TwoTableRelease"]

@@ -1,0 +1,15 @@
+"""Post-processing of released marginals (free under differential privacy).
+
+Footnote 1 of the paper: "we could apply additional post-processing of
+distributions, in the spirit of [2, 17, 27], to reflect the fact that
+lower degree distributions should be consistent".  This package implements
+those steps: non-negativity + normalization (used throughout the paper's
+baselines) and mutual consistency of overlapping marginals.
+"""
+
+from repro.postprocess.consistency import (
+    enforce_nonnegativity,
+    mutually_consistent_marginals,
+)
+
+__all__ = ["enforce_nonnegativity", "mutually_consistent_marginals"]

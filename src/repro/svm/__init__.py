@@ -1,0 +1,22 @@
+"""Linear SVM substrate (Section 6.1 classification tasks).
+
+Implemented from scratch (no sklearn/LIBSVM available offline):
+
+* :class:`LinearSVM` — hinge-loss C-SVM (C = 1) via L-BFGS on a smoothed
+  hinge; used for NoPrivacy and for classifiers trained on synthetic data.
+* :class:`HuberSVM` — Huber-loss SVM of Chaudhuri et al., the model class
+  PrivateERM perturbs.
+* :func:`featurize` — one-hot feature matrix + ±1 labels from a
+  :class:`~repro.data.Table` and a binary task definition.
+"""
+
+from repro.svm.features import BinaryTask, featurize
+from repro.svm.linear import HuberSVM, LinearSVM, misclassification_rate
+
+__all__ = [
+    "LinearSVM",
+    "HuberSVM",
+    "misclassification_rate",
+    "featurize",
+    "BinaryTask",
+]

@@ -1,0 +1,67 @@
+"""Featurization of tables for linear classification.
+
+Each SVM task of Section 6.1 predicts a *binary* label derived from one
+attribute (e.g. "holds a post-secondary degree" from ``education``) using
+all other attributes as features.  Features are one-hot encodings of the
+attribute codes, rescaled so every row has L2 norm at most 1 — the
+normalization PrivateERM's privacy analysis requires.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence, Tuple
+
+import numpy as np
+
+from repro.data.table import Table
+
+
+@dataclass(frozen=True)
+class BinaryTask:
+    """A binary classification task over one attribute.
+
+    Parameters
+    ----------
+    name:
+        Display name (e.g. ``"Y = salary"``).
+    target:
+        Attribute whose value defines the label.
+    positive:
+        Labels of ``target`` mapped to class +1; all others map to -1.
+    """
+
+    name: str
+    target: str
+    positive: Tuple[str, ...]
+
+    def labels(self, table: Table) -> np.ndarray:
+        """±1 labels for every row of ``table``."""
+        attr = table.attribute(self.target)
+        positive_codes = {attr.values.index(v) for v in self.positive}
+        codes = table.column(self.target)
+        return np.where(np.isin(codes, list(positive_codes)), 1.0, -1.0)
+
+
+def featurize(
+    table: Table, task: BinaryTask
+) -> Tuple[np.ndarray, np.ndarray]:
+    """One-hot features (rows normalized to ||x|| ≤ 1) and ±1 labels.
+
+    The target attribute is excluded from the features.  The feature layout
+    depends only on the schema, so classifiers trained on synthetic data
+    apply directly to real test rows.
+    """
+    feature_attrs = [a for a in table.attributes if a.name != task.target]
+    width = sum(a.size for a in feature_attrs) + 1  # +1 bias column
+    X = np.zeros((table.n, width))
+    offset = 0
+    for attr in feature_attrs:
+        codes = table.column(attr.name)
+        X[np.arange(table.n), offset + codes] = 1.0
+        offset += attr.size
+    X[:, -1] = 1.0  # bias
+    # Every row has exactly d non-zero entries of magnitude 1; normalize by
+    # sqrt(d) so ||x||₂ = 1 exactly (PrivateERM requires ||x|| ≤ 1).
+    X /= np.sqrt(len(feature_attrs) + 1)
+    return X, task.labels(table)

@@ -1,0 +1,152 @@
+"""Linear SVM trainers (from scratch; scipy L-BFGS for optimization).
+
+:class:`LinearSVM` minimizes the standard C-SVM objective with ``C = 1``
+(Section 6.1 uses the hinge-loss C-SVM model with C = 1)::
+
+    J(w) = (1/2)||w||² + C · Σ_i max(0, 1 - y_i·x_i·w)
+
+with the hinge smoothed by a small Huber corner so L-BFGS applies; the
+smoothing radius is far below the decision resolution of the evaluation.
+
+:class:`HuberSVM` minimizes the Huber-loss ERM objective of Chaudhuri,
+Monteleoni and Sarwate (2011)::
+
+    J(w) = (1/n) Σ_i ℓ_huber(y_i·x_i·w) + (λ/2)||w||²  [+ bᵀw/n]
+
+which is the model PrivateERM perturbs (the optional linear term carries
+the objective-perturbation noise).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+from scipy.optimize import minimize
+
+
+def misclassification_rate(model, X: np.ndarray, y: np.ndarray) -> float:
+    """Fraction of rows whose predicted sign differs from the label."""
+    predictions = model.predict(X)
+    return float(np.mean(predictions != y))
+
+
+def _smoothed_hinge(margins: np.ndarray, delta: float):
+    """Huber-smoothed hinge value and derivative wrt the margin.
+
+    Quadratic within ``delta`` of the corner at margin 1, linear below,
+    zero above — standard smoothing that keeps L-BFGS happy.
+    """
+    value = np.zeros_like(margins)
+    grad = np.zeros_like(margins)
+    below = margins < 1.0 - delta
+    value[below] = 1.0 - margins[below]
+    grad[below] = -1.0
+    corner = (~below) & (margins < 1.0 + delta)
+    z = 1.0 + delta - margins[corner]
+    value[corner] = z * z / (4.0 * delta)
+    grad[corner] = -z / (2.0 * delta)
+    return value, grad
+
+
+class LinearSVM:
+    """Hinge-loss C-SVM (C = 1) trained by L-BFGS on a smoothed hinge."""
+
+    def __init__(self, C: float = 1.0, smoothing: float = 1e-3) -> None:
+        if C <= 0:
+            raise ValueError("C must be positive")
+        self.C = C
+        self.smoothing = smoothing
+        self.weights: Optional[np.ndarray] = None
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "LinearSVM":
+        X = np.asarray(X, dtype=float)
+        y = np.asarray(y, dtype=float)
+        if X.shape[0] != y.shape[0]:
+            raise ValueError("X and y disagree on the number of rows")
+        n, p = X.shape
+        delta = self.smoothing
+
+        def objective(w):
+            margins = y * (X @ w)
+            loss, grad_margin = _smoothed_hinge(margins, delta)
+            value = 0.5 * w @ w + self.C * loss.sum()
+            grad = w + self.C * (X.T @ (grad_margin * y))
+            return value, grad
+
+        start = np.zeros(p)
+        result = minimize(objective, start, jac=True, method="L-BFGS-B")
+        self.weights = result.x
+        return self
+
+    def decision_function(self, X: np.ndarray) -> np.ndarray:
+        if self.weights is None:
+            raise RuntimeError("fit must be called before predictions")
+        return np.asarray(X, dtype=float) @ self.weights
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        return np.where(self.decision_function(X) >= 0.0, 1.0, -1.0)
+
+
+class HuberSVM:
+    """Huber-loss regularized ERM (the PrivateERM model class).
+
+    ``perturbation`` adds the objective-perturbation linear term
+    ``bᵀw / n`` used by PrivateERM; leave it ``None`` for the non-private
+    fit.
+    """
+
+    def __init__(self, lam: float = 1e-3, huber_h: float = 0.5) -> None:
+        if lam <= 0:
+            raise ValueError("lam must be positive")
+        if huber_h <= 0:
+            raise ValueError("huber_h must be positive")
+        self.lam = lam
+        self.huber_h = huber_h
+        self.weights: Optional[np.ndarray] = None
+
+    def _huber_loss(self, margins: np.ndarray):
+        """Chaudhuri et al.'s Huber loss and derivative wrt the margin."""
+        h = self.huber_h
+        value = np.zeros_like(margins)
+        grad = np.zeros_like(margins)
+        below = margins < 1.0 - h
+        value[below] = 1.0 - margins[below]
+        grad[below] = -1.0
+        corner = (~below) & (margins <= 1.0 + h)
+        z = 1.0 + h - margins[corner]
+        value[corner] = z * z / (4.0 * h)
+        grad[corner] = -z / (2.0 * h)
+        return value, grad
+
+    def fit(
+        self,
+        X: np.ndarray,
+        y: np.ndarray,
+        perturbation: Optional[np.ndarray] = None,
+        extra_regularization: float = 0.0,
+    ) -> "HuberSVM":
+        X = np.asarray(X, dtype=float)
+        y = np.asarray(y, dtype=float)
+        n, p = X.shape
+        b = np.zeros(p) if perturbation is None else np.asarray(perturbation)
+        lam = self.lam + extra_regularization
+
+        def objective(w):
+            margins = y * (X @ w)
+            loss, grad_margin = self._huber_loss(margins)
+            value = loss.mean() + 0.5 * lam * (w @ w) + (b @ w) / n
+            grad = (X.T @ (grad_margin * y)) / n + lam * w + b / n
+            return value, grad
+
+        result = minimize(objective, np.zeros(p), jac=True, method="L-BFGS-B")
+        self.weights = result.x
+        return self
+
+    def decision_function(self, X: np.ndarray) -> np.ndarray:
+        if self.weights is None:
+            raise RuntimeError("fit must be called before predictions")
+        return np.asarray(X, dtype=float) @ self.weights
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        return np.where(self.decision_function(X) >= 0.0, 1.0, -1.0)

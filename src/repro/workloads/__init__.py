@@ -1,0 +1,24 @@
+"""Evaluation workloads of Section 6.1: α-way marginals and SVM tasks."""
+
+from repro.workloads.marginal_queries import (
+    all_alpha_marginals,
+    average_variation_distance,
+    synthetic_marginals,
+)
+from repro.workloads.range_queries import (
+    RangeQuery,
+    average_range_error,
+    random_range_queries,
+)
+from repro.workloads.svm_tasks import SVM_TASKS, tasks_for
+
+__all__ = [
+    "all_alpha_marginals",
+    "synthetic_marginals",
+    "average_variation_distance",
+    "RangeQuery",
+    "random_range_queries",
+    "average_range_error",
+    "SVM_TASKS",
+    "tasks_for",
+]

@@ -1,0 +1,52 @@
+"""α-way marginal workloads ``Q_α`` and their accuracy metric.
+
+``Q_α`` is the set of all α-way marginals of a dataset (Section 6.1); the
+accuracy of a released marginal is the total variation distance to the
+noise-free marginal, and a method's error on ``Q_α`` is the average over
+all marginals.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.data.marginals import joint_distribution
+from repro.data.table import Table
+from repro.infotheory.measures import total_variation_distance
+
+Workload = List[Tuple[str, ...]]
+
+
+def all_alpha_marginals(table: Table, alpha: int) -> Workload:
+    """All ``C(d, α)`` attribute subsets of size α, in schema order."""
+    if not 1 <= alpha <= table.d:
+        raise ValueError(f"alpha={alpha} out of range [1, {table.d}]")
+    return [tuple(c) for c in itertools.combinations(table.attribute_names, alpha)]
+
+
+def synthetic_marginals(
+    synthetic: Table, workload: Workload
+) -> Dict[Tuple[str, ...], np.ndarray]:
+    """Evaluate a workload on a synthetic table (PrivBayes' answer format)."""
+    return {
+        tuple(names): joint_distribution(synthetic, list(names))
+        for names in workload
+    }
+
+
+def average_variation_distance(
+    reference: Table,
+    released: Dict[Tuple[str, ...], np.ndarray],
+    workload: Workload,
+) -> float:
+    """Mean total-variation distance between released and true marginals."""
+    if not workload:
+        raise ValueError("empty workload")
+    distances = []
+    for names in workload:
+        truth = joint_distribution(reference, list(names))
+        distances.append(total_variation_distance(truth, released[tuple(names)]))
+    return float(np.mean(distances))

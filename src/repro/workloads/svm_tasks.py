@@ -1,0 +1,89 @@
+"""The four-per-dataset SVM classification tasks of Section 6.1.
+
+Each task predicts a binary property of one attribute from all other
+attributes.  Some labels are direct binary attributes; others are derived
+binarizations (e.g. Adult's "holds a post-secondary degree" from the
+16-value ``education``), exactly as the paper describes them.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Tuple
+
+from repro.data.table import Table
+from repro.svm.features import BinaryTask
+
+
+def _positive_prefix_bins(table: Table, attr_name: str, threshold: float) -> Tuple[str, ...]:
+    """Bin labels of a discretized continuous attribute whose lower edge is
+    at or above ``threshold`` (used for BR2000's "older than 20")."""
+    attr = table.attribute(attr_name)
+    chosen = []
+    for label in attr.values:
+        lower = float(label.strip("(]").split(",")[0])
+        if lower >= threshold - 1e-9:
+            chosen.append(label)
+    return tuple(chosen)
+
+
+def _nltcs_tasks(table: Table) -> List[BinaryTask]:
+    return [
+        BinaryTask("Y = outside", "getting_about_outside", ("unable",)),
+        BinaryTask("Y = money", "managing_money", ("unable",)),
+        BinaryTask("Y = bathing", "bathing", ("unable",)),
+        BinaryTask("Y = traveling", "traveling", ("unable",)),
+    ]
+
+
+def _acs_tasks(table: Table) -> List[BinaryTask]:
+    return [
+        BinaryTask("Y = dwelling", "owns_dwelling", ("yes",)),
+        BinaryTask("Y = mortgage", "has_mortgage", ("yes",)),
+        BinaryTask("Y = multi-gen", "multi_generation", ("yes",)),
+        BinaryTask("Y = school", "attends_school", ("yes",)),
+    ]
+
+
+def _adult_tasks(table: Table) -> List[BinaryTask]:
+    return [
+        BinaryTask("Y = gender", "sex", ("Female",)),
+        BinaryTask("Y = salary", "salary", (">50K",)),
+        BinaryTask(
+            "Y = education",
+            "education",
+            ("Bachelors", "Masters", "Prof-school", "Doctorate"),
+        ),
+        BinaryTask("Y = marital", "marital_status", ("Never-married",)),
+    ]
+
+
+def _br2000_tasks(table: Table) -> List[BinaryTask]:
+    return [
+        BinaryTask("Y = religion", "religion", ("Catholic",)),
+        BinaryTask("Y = car", "n_cars", ("1", "2", "3+")),
+        BinaryTask(
+            "Y = child", "n_children", ("1", "2", "3", "4", "5", "6", "7+")
+        ),
+        BinaryTask(
+            "Y = age", "age", _positive_prefix_bins(table, "age", 18.75)
+        ),
+    ]
+
+
+SVM_TASKS: Dict[str, Callable[[Table], List[BinaryTask]]] = {
+    "nltcs": _nltcs_tasks,
+    "acs": _acs_tasks,
+    "adult": _adult_tasks,
+    "br2000": _br2000_tasks,
+}
+
+
+def tasks_for(dataset: str, table: Table) -> List[BinaryTask]:
+    """The four Section 6.1 tasks for a dataset, bound to its schema."""
+    try:
+        builder = SVM_TASKS[dataset.lower()]
+    except KeyError:
+        raise ValueError(
+            f"no SVM tasks defined for {dataset!r}; choose from {sorted(SVM_TASKS)}"
+        ) from None
+    return builder(table)

@@ -1,0 +1,120 @@
+"""Classification baselines: Majority, PrivateERM, PrivGene."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.classification import (
+    MajorityClassifier,
+    PrivGene,
+    PrivateERM,
+)
+from repro.svm.features import BinaryTask, featurize
+from repro.svm.linear import misclassification_rate
+from tests.svm.test_svm import _task_table
+
+
+@pytest.fixture
+def xy():
+    table = _task_table(n=3000, seed=2)
+    return featurize(table, BinaryTask("t", "y", ("pos",)))
+
+
+class TestMajority:
+    def test_predicts_single_class(self, xy, rng):
+        X, y = xy
+        model = MajorityClassifier().fit(X, y, 1.0, rng)
+        preds = model.predict(X)
+        assert len(set(preds.tolist())) == 1
+
+    def test_picks_true_majority_with_large_budget(self, xy, rng):
+        X, y = xy
+        majority = 1.0 if (y > 0).sum() > len(y) / 2 else -1.0
+        model = MajorityClassifier().fit(X, y, 100.0, rng)
+        assert model.majority == majority
+
+    def test_error_equals_minority_fraction(self, xy, rng):
+        X, y = xy
+        model = MajorityClassifier().fit(X, y, 100.0, rng)
+        expected = min((y > 0).mean(), (y < 0).mean())
+        assert misclassification_rate(model, X, y) == pytest.approx(expected)
+
+    def test_predict_before_fit(self, xy):
+        with pytest.raises(RuntimeError):
+            MajorityClassifier().predict(xy[0])
+
+    def test_invalid_epsilon(self, xy, rng):
+        with pytest.raises(ValueError):
+            MajorityClassifier().fit(*xy, epsilon=0.0, rng=rng)
+
+
+class TestPrivateERM:
+    def test_beats_majority_at_high_epsilon(self, xy, rng):
+        X, y = xy
+        model = PrivateERM().fit(X, y, 10.0, rng)
+        base = min((y > 0).mean(), (y < 0).mean())
+        assert misclassification_rate(model, X, y) < base
+
+    def test_accuracy_improves_with_epsilon(self, xy):
+        X, y = xy
+
+        def err(eps, seed):
+            model = PrivateERM().fit(X, y, eps, np.random.default_rng(seed))
+            return misclassification_rate(model, X, y)
+
+        loose = np.mean([err(0.01, s) for s in range(8)])
+        tight = np.mean([err(20.0, s) for s in range(8)])
+        assert tight < loose
+
+    def test_small_epsilon_triggers_extra_regularization(self, xy, rng):
+        X, y = xy
+        n = X.shape[0]
+        # With lam large enough eps' > 0; with lam tiny it flips negative.
+        model = PrivateERM(lam=1e-9)
+        model.fit(X, y, 0.05, rng)  # must not crash (Δ-branch taken)
+        assert model.model is not None
+
+    def test_predict_before_fit(self, xy):
+        with pytest.raises(RuntimeError):
+            PrivateERM().predict(xy[0])
+
+    def test_invalid_epsilon(self, xy, rng):
+        with pytest.raises(ValueError):
+            PrivateERM().fit(*xy, epsilon=-1.0, rng=rng)
+
+
+class TestPrivGene:
+    def test_fits_and_predicts(self, xy, rng):
+        X, y = xy
+        model = PrivGene(population=40, n_parents=5, iterations=4).fit(
+            X, y, 1.0, rng
+        )
+        preds = model.predict(X)
+        assert set(np.unique(preds)) <= {-1.0, 1.0}
+
+    def test_beats_random_at_high_epsilon(self, xy, rng):
+        X, y = xy
+        model = PrivGene(population=60, n_parents=8, iterations=8).fit(
+            X, y, 50.0, rng
+        )
+        assert misclassification_rate(model, X, y) < 0.45
+
+    def test_accuracy_improves_with_epsilon(self, xy):
+        X, y = xy
+
+        def err(eps, seed):
+            model = PrivGene(population=40, n_parents=5, iterations=5).fit(
+                X, y, eps, np.random.default_rng(seed)
+            )
+            return misclassification_rate(model, X, y)
+
+        loose = np.mean([err(0.005, s) for s in range(6)])
+        tight = np.mean([err(50.0, s) for s in range(6)])
+        assert tight <= loose + 0.02
+
+    def test_predict_before_fit(self, xy):
+        with pytest.raises(RuntimeError):
+            PrivGene().predict(xy[0])
+
+    def test_invalid_epsilon(self, xy, rng):
+        with pytest.raises(ValueError):
+            PrivGene().fit(*xy, epsilon=0.0, rng=rng)

@@ -1,0 +1,77 @@
+"""Fourier (Barak et al.) mechanism: exactness without noise budget → huge ε,
+coefficient bookkeeping, non-binary folding."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.fourier import FourierMarginals
+from repro.data.attribute import Attribute
+from repro.data.table import Table
+from repro.data.marginals import joint_distribution
+from repro.infotheory.measures import total_variation_distance
+from repro.workloads import all_alpha_marginals, average_variation_distance
+
+
+class TestBinaryDomains:
+    def test_near_exact_at_huge_epsilon(self, binary_table):
+        workload = all_alpha_marginals(binary_table, 2)
+        released = FourierMarginals().release(
+            binary_table, workload, 1e6, np.random.default_rng(0)
+        )
+        for names in workload:
+            truth = joint_distribution(binary_table, list(names))
+            assert total_variation_distance(truth, released[names]) < 1e-3
+
+    def test_outputs_are_distributions(self, binary_table, rng):
+        workload = all_alpha_marginals(binary_table, 2)
+        released = FourierMarginals().release(binary_table, workload, 0.5, rng)
+        for dist in released.values():
+            assert (dist >= 0).all()
+            assert dist.sum() == pytest.approx(1.0)
+
+    def test_error_shrinks_with_epsilon(self, binary_table):
+        workload = all_alpha_marginals(binary_table, 2)
+
+        def err(eps, seed):
+            released = FourierMarginals().release(
+                binary_table, workload, eps, np.random.default_rng(seed)
+            )
+            return average_variation_distance(binary_table, released, workload)
+
+        loose = np.mean([err(0.02, s) for s in range(5)])
+        tight = np.mean([err(50.0, s) for s in range(5)])
+        assert tight < loose
+
+
+class TestNonBinaryDomains:
+    def _table(self):
+        rng = np.random.default_rng(1)
+        attrs = [
+            Attribute("c", ("r", "g", "b")),  # 3 values -> 2 bits, 1 invalid
+            Attribute.binary("f"),
+        ]
+        return Table(
+            attrs,
+            {"c": rng.integers(0, 3, 800), "f": rng.integers(0, 2, 800)},
+        )
+
+    def test_marginal_has_original_domain_size(self, rng):
+        table = self._table()
+        released = FourierMarginals().release(table, [("c", "f")], 1e6, rng)
+        assert released[("c", "f")].size == 6  # 3 * 2, not 2^3
+
+    def test_near_exact_at_huge_epsilon(self, rng):
+        table = self._table()
+        released = FourierMarginals().release(table, [("c", "f")], 1e6, rng)
+        truth = joint_distribution(table, ["c", "f"])
+        assert total_variation_distance(truth, released[("c", "f")]) < 1e-3
+
+    def test_marginal_too_wide_rejected(self, rng):
+        table = self._table()
+        mech = FourierMarginals(max_bits_per_marginal=2)
+        with pytest.raises(ValueError, match="bits"):
+            mech.release(table, [("c", "f")], 1.0, rng)
+
+    def test_invalid_epsilon(self, rng):
+        with pytest.raises(ValueError):
+            FourierMarginals().release(self._table(), [("c",)], 0.0, rng)

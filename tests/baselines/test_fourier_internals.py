@@ -1,0 +1,75 @@
+"""Fourier mechanism internals: coefficient bookkeeping and budgets."""
+
+import itertools
+import math
+
+import numpy as np
+import pytest
+
+from repro.baselines.fourier import FourierMarginals
+from repro.data.attribute import Attribute
+from repro.data.table import Table
+from repro.workloads import all_alpha_marginals
+
+
+def _binary_table(d, n, seed):
+    rng = np.random.default_rng(seed)
+    attrs = [Attribute.binary(f"x{i}") for i in range(d)]
+    return Table(attrs, {a.name: rng.integers(0, 2, n) for a in attrs})
+
+
+class TestCoefficientSets:
+    def test_parseval_exact_reconstruction_one_marginal(self):
+        """With no noise budget pressure, one marginal reconstructs from
+        its 2^alpha coefficients exactly."""
+        table = _binary_table(4, 500, 0)
+        released = FourierMarginals().release(
+            table, [("x0", "x1")], 1e9, np.random.default_rng(0)
+        )
+        from repro.data.marginals import joint_distribution
+
+        truth = joint_distribution(table, ["x0", "x1"])
+        assert np.allclose(released[("x0", "x1")], truth, atol=1e-6)
+
+    def test_q_alpha_coefficient_count(self):
+        """Q_alpha over d binary attrs needs sum_{j<=alpha} C(d,j)
+        distinct coefficients (subsets are shared across marginals)."""
+        d, alpha = 5, 2
+        table = _binary_table(d, 200, 1)
+        workload = all_alpha_marginals(table, alpha)
+        mech = FourierMarginals()
+        # Count needed subsets exactly as the mechanism does.
+        needed = set()
+        for names in workload:
+            for r in range(alpha + 1):
+                for combo in itertools.combinations(sorted(names), r):
+                    needed.add(combo)
+        expected = sum(math.comb(d, j) for j in range(alpha + 1))
+        assert len(needed) == expected
+
+    def test_empty_subset_coefficient_is_one(self):
+        """c_∅ = 1 always (total mass); the mechanism injects noise into it
+        too, but reconstruction renormalizes."""
+        table = _binary_table(3, 100, 2)
+        released = FourierMarginals().release(
+            table, [("x0",)], 1e9, np.random.default_rng(0)
+        )
+        assert released[("x0",)].sum() == pytest.approx(1.0)
+
+    def test_error_grows_with_workload_like_laplace(self):
+        """More marginals -> more coefficients -> more noise each."""
+        from repro.workloads import average_variation_distance
+
+        table = _binary_table(8, 2000, 3)
+        small = all_alpha_marginals(table, 1)
+        big = all_alpha_marginals(table, 3)
+
+        def err(workload, seed):
+            released = FourierMarginals().release(
+                table, workload, 0.2, np.random.default_rng(seed)
+            )
+            return average_variation_distance(table, released, workload)
+
+        small_err = np.mean([err(small, s) for s in range(4)])
+        big_err = np.mean([err(big, s) for s in range(4)])
+        assert big_err > small_err

@@ -1,0 +1,112 @@
+"""Laplace / Contingency / Uniform marginal baselines."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.marginal_methods import (
+    ContingencyMarginals,
+    LaplaceMarginals,
+    UniformMarginals,
+)
+from repro.data.marginals import joint_distribution
+from repro.infotheory.measures import total_variation_distance
+from repro.workloads import all_alpha_marginals, average_variation_distance
+
+
+@pytest.fixture
+def workload(binary_table):
+    return all_alpha_marginals(binary_table, 2)
+
+
+class TestLaplace:
+    def test_releases_every_marginal(self, binary_table, workload, rng):
+        released = LaplaceMarginals().release(binary_table, workload, 1.0, rng)
+        assert set(released) == set(workload)
+
+    def test_outputs_are_distributions(self, binary_table, workload, rng):
+        released = LaplaceMarginals().release(binary_table, workload, 1.0, rng)
+        for dist in released.values():
+            assert (dist >= 0).all()
+            assert dist.sum() == pytest.approx(1.0)
+
+    def test_error_shrinks_with_epsilon(self, binary_table, workload):
+        def err(eps, seed):
+            released = LaplaceMarginals().release(
+                binary_table, workload, eps, np.random.default_rng(seed)
+            )
+            return average_variation_distance(binary_table, released, workload)
+
+        loose = np.mean([err(0.01, s) for s in range(5)])
+        tight = np.mean([err(20.0, s) for s in range(5)])
+        assert tight < loose
+
+    def test_error_grows_with_workload_size(self, rng):
+        """Splitting the budget over more marginals hurts (Section 6.5)."""
+        from repro.datasets import load_dataset
+
+        table = load_dataset("nltcs", n=3000, seed=0)
+        small = all_alpha_marginals(table, 2)[:10]
+        big = all_alpha_marginals(table, 3)[:300]
+        err_small = average_variation_distance(
+            table,
+            LaplaceMarginals().release(table, small, 0.1, np.random.default_rng(0)),
+            small,
+        )
+        err_big = average_variation_distance(
+            table,
+            LaplaceMarginals().release(table, big, 0.1, np.random.default_rng(0)),
+            big,
+        )
+        assert err_big > err_small
+
+    def test_invalid_epsilon(self, binary_table, workload, rng):
+        with pytest.raises(ValueError):
+            LaplaceMarginals().release(binary_table, workload, 0.0, rng)
+
+
+class TestContingency:
+    def test_releases_every_marginal(self, binary_table, workload, rng):
+        released = ContingencyMarginals().release(binary_table, workload, 1.0, rng)
+        assert set(released) == set(workload)
+
+    def test_consistency_across_marginals(self, binary_table, rng):
+        """All marginals project from one table, so shared sub-marginals
+        agree — the consistency property of Section 1.1."""
+        released = ContingencyMarginals().release(
+            binary_table, [("a", "b"), ("a", "c")], 5.0, rng
+        )
+        from_ab = released[("a", "b")].reshape(2, 2).sum(axis=1)
+        from_ac = released[("a", "c")].reshape(2, 2).sum(axis=1)
+        assert np.allclose(from_ab, from_ac)
+
+    def test_accurate_at_high_epsilon(self, binary_table, workload, rng):
+        released = ContingencyMarginals().release(
+            binary_table, workload, 100.0, rng
+        )
+        err = average_variation_distance(binary_table, released, workload)
+        assert err < 0.05
+
+    def test_domain_size_guard(self, rng):
+        from repro.data.attribute import Attribute
+        from repro.data.table import Table
+
+        attrs = [
+            Attribute(f"x{i}", tuple(str(v) for v in range(64))) for i in range(5)
+        ]
+        table = Table(attrs, {a.name: np.zeros(10, dtype=int) for a in attrs})
+        with pytest.raises(ValueError, match="does not scale"):
+            ContingencyMarginals().release(table, [("x0", "x1")], 1.0, rng)
+
+
+class TestUniform:
+    def test_uniform_answers(self, binary_table, workload, rng):
+        released = UniformMarginals().release(binary_table, workload, 1.0, rng)
+        for names, dist in released.items():
+            assert np.allclose(dist, 1.0 / dist.size)
+
+    def test_error_independent_of_epsilon(self, binary_table, workload, rng):
+        r1 = UniformMarginals().release(binary_table, workload, 0.01, rng)
+        r2 = UniformMarginals().release(binary_table, workload, 10.0, rng)
+        e1 = average_variation_distance(binary_table, r1, workload)
+        e2 = average_variation_distance(binary_table, r2, workload)
+        assert e1 == pytest.approx(e2)

@@ -1,0 +1,65 @@
+"""MWEM: convergence behaviour, domain guard, round budgeting."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.mwem import MWEM
+from repro.data.attribute import Attribute
+from repro.data.table import Table
+from repro.workloads import all_alpha_marginals, average_variation_distance
+
+
+@pytest.fixture
+def small_table(rng):
+    n = 2000
+    a = rng.integers(0, 2, n)
+    b = np.where(rng.random(n) < 0.9, a, 1 - a)
+    c = rng.integers(0, 2, n)
+    attrs = [Attribute.binary(x) for x in "abc"]
+    return Table(attrs, {"a": a, "b": b, "c": c})
+
+
+class TestMWEM:
+    def test_outputs_are_distributions(self, small_table, rng):
+        workload = all_alpha_marginals(small_table, 2)
+        released = MWEM().release(small_table, workload, 0.5, rng)
+        for dist in released.values():
+            assert (dist >= 0).all()
+            assert dist.sum() == pytest.approx(1.0)
+
+    def test_improves_over_uniform_at_high_epsilon(self, small_table, rng):
+        workload = all_alpha_marginals(small_table, 2)
+        released = MWEM(max_rounds=30).release(small_table, workload, 4.0, rng)
+        err = average_variation_distance(small_table, released, workload)
+        from repro.baselines.marginal_methods import UniformMarginals
+
+        uniform = UniformMarginals().release(small_table, workload, 4.0, rng)
+        uniform_err = average_variation_distance(small_table, uniform, workload)
+        assert err < uniform_err
+
+    def test_round_count_tracks_epsilon(self):
+        mech = MWEM(per_round_epsilon=0.05, max_rounds=100)
+        # ε=0.5 → 10 rounds, ε=0.05 → 1 round (the Section 6.5 adjustment).
+        assert max(1, min(100, round(0.5 / 0.05))) == 10
+        assert max(1, min(100, round(0.05 / 0.05))) == 1
+
+    def test_domain_guard(self, rng):
+        attrs = [
+            Attribute(f"x{i}", tuple(str(v) for v in range(64))) for i in range(5)
+        ]
+        table = Table(attrs, {a.name: np.zeros(5, dtype=int) for a in attrs})
+        with pytest.raises(ValueError, match="does not scale"):
+            MWEM().release(table, [("x0", "x1")], 1.0, rng)
+
+    def test_invalid_epsilon(self, small_table, rng):
+        with pytest.raises(ValueError):
+            MWEM().release(small_table, [("a", "b")], -0.5, rng)
+
+    def test_nonuniform_attribute_sizes(self, rng):
+        n = 1000
+        attrs = [Attribute("x", ("u", "v", "w")), Attribute.binary("y")]
+        table = Table(
+            attrs, {"x": rng.integers(0, 3, n), "y": rng.integers(0, 2, n)}
+        )
+        released = MWEM(max_rounds=10).release(table, [("x", "y")], 1.0, rng)
+        assert released[("x", "y")].size == 6

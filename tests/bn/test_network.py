@@ -1,0 +1,81 @@
+"""Bayesian network structure: AP pairs, ordering, DAG invariants."""
+
+import pytest
+
+from repro.bn.network import APPair, BayesianNetwork
+
+
+class TestAPPair:
+    def test_make_normalizes_strings(self):
+        pair = APPair.make("x", ["b", "a"])
+        assert pair.parents == (("a", 0), ("b", 0))
+        assert pair.parent_names == ("a", "b")
+        assert pair.degree == 2
+
+    def test_make_accepts_levels(self):
+        pair = APPair.make("x", [("a", 1), "b"])
+        assert ("a", 1) in pair.parents
+
+    def test_child_cannot_be_parent(self):
+        with pytest.raises(ValueError, match="own parent"):
+            APPair.make("x", ["x"])
+
+    def test_duplicate_parents_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            APPair.make("x", ["a", ("a", 1)])
+
+    def test_str_rendering(self):
+        pair = APPair.make("x", [("a", 1), "b"])
+        assert "a^(1)" in str(pair)
+        assert "x" in str(pair)
+
+
+class TestBayesianNetwork:
+    def test_construction_order_is_topological(self):
+        net = BayesianNetwork(
+            [
+                APPair.make("a", []),
+                APPair.make("b", ["a"]),
+                APPair.make("c", ["a", "b"]),
+            ]
+        )
+        assert net.attribute_order == ("a", "b", "c")
+        assert net.degree == 2
+        assert net.d == 3
+
+    def test_forward_edge_rejected(self):
+        with pytest.raises(ValueError, match="precede"):
+            BayesianNetwork([APPair.make("a", ["b"]), APPair.make("b", [])])
+
+    def test_duplicate_child_rejected(self):
+        with pytest.raises(ValueError, match="twice"):
+            BayesianNetwork([APPair.make("a", []), APPair.make("a", [])])
+
+    def test_edges(self):
+        net = BayesianNetwork(
+            [APPair.make("a", []), APPair.make("b", ["a"])]
+        )
+        assert net.edges() == [("a", "b")]
+
+    def test_pair_for(self):
+        net = BayesianNetwork([APPair.make("a", [])])
+        assert net.pair_for("a").child == "a"
+        with pytest.raises(KeyError):
+            net.pair_for("zz")
+
+    def test_parent_levels(self):
+        net = BayesianNetwork(
+            [APPair.make("a", []), APPair.make("b", [("a", 1)])]
+        )
+        assert net.parent_levels() == {"a": {}, "b": {"a": 1}}
+
+    def test_equality_and_hash(self):
+        n1 = BayesianNetwork([APPair.make("a", [])])
+        n2 = BayesianNetwork([APPair.make("a", [])])
+        assert n1 == n2
+        assert hash(n1) == hash(n2)
+
+    def test_empty_network(self):
+        net = BayesianNetwork([])
+        assert net.d == 0
+        assert net.degree == 0

@@ -1,0 +1,140 @@
+"""Network quality: sum of MI, exact model joints, KL attribution."""
+
+import numpy as np
+import pytest
+
+from repro.bn.network import APPair, BayesianNetwork
+from repro.bn.quality import (
+    exact_model_joint,
+    generalized_codes,
+    model_kl_to_data,
+    network_mutual_information,
+    pair_joint_distribution,
+)
+from repro.data.attribute import Attribute
+from repro.data.marginals import joint_distribution
+from repro.data.table import Table
+from repro.data.taxonomy import TaxonomyTree
+
+
+def _chain(names):
+    pairs = [APPair.make(names[0], [])]
+    pairs += [APPair.make(c, [p]) for p, c in zip(names, names[1:])]
+    return BayesianNetwork(pairs)
+
+
+class TestNetworkMI:
+    def test_independent_network_scores_zero(self, binary_table):
+        net = BayesianNetwork(
+            [APPair.make(n, []) for n in binary_table.attribute_names]
+        )
+        assert network_mutual_information(binary_table, net) == 0.0
+
+    def test_chain_on_correlated_data_positive(self, binary_table):
+        net = _chain(list(binary_table.attribute_names))
+        assert network_mutual_information(binary_table, net) > 0.2
+
+    def test_better_structure_scores_higher(self, binary_table):
+        # b follows a strongly; pairing (b|a) must beat (b|c).
+        good = BayesianNetwork(
+            [APPair.make("a", []), APPair.make("b", ["a"])]
+        )
+        t = binary_table.project(["a", "b"])
+        bad_t = binary_table.project(["c", "b"])
+        bad = BayesianNetwork(
+            [APPair.make("c", []), APPair.make("b", ["c"])]
+        )
+        assert network_mutual_information(t, good) > network_mutual_information(
+            bad_t, bad
+        )
+
+
+class TestGeneralizedCodes:
+    def test_level_zero_identity(self, mixed_table):
+        codes, size = generalized_codes(mixed_table, "color", 0)
+        assert size == 4
+        assert (codes == mixed_table.column("color")).all()
+
+    def test_level_one_groups(self, mixed_table):
+        codes, size = generalized_codes(mixed_table, "color", 1)
+        assert size == 2
+        raw = mixed_table.column("color")
+        assert ((raw < 2) == (codes == 0)).all()
+
+
+class TestPairJoint:
+    def test_layout_child_innermost(self, mixed_table):
+        joint, child_size = pair_joint_distribution(
+            mixed_table, "warm_flag", (("color", 0),)
+        )
+        assert child_size == 2
+        assert joint.size == 8
+        assert joint.sum() == pytest.approx(1.0)
+
+    def test_generalized_parent(self, mixed_table):
+        joint, child_size = pair_joint_distribution(
+            mixed_table, "warm_flag", (("color", 1),)
+        )
+        assert joint.size == 4
+
+
+class TestExactJoint:
+    def test_full_network_reproduces_data_joint(self, binary_table):
+        """A fully connected network reproduces the empirical joint."""
+        names = list(binary_table.attribute_names)
+        pairs = []
+        for i, name in enumerate(names):
+            pairs.append(APPair.make(name, names[:i]))
+        net = BayesianNetwork(pairs)
+        model = exact_model_joint(binary_table, net)
+        truth = joint_distribution(binary_table, names)
+        assert np.allclose(model, truth, atol=1e-12)
+
+    def test_model_joint_is_distribution(self, binary_table):
+        net = _chain(list(binary_table.attribute_names))
+        model = exact_model_joint(binary_table, net)
+        assert model.min() >= 0
+        assert model.sum() == pytest.approx(1.0)
+
+    def test_kl_zero_for_full_network(self, binary_table):
+        names = list(binary_table.attribute_names)
+        pairs = [APPair.make(name, names[:i]) for i, name in enumerate(names)]
+        net = BayesianNetwork(pairs)
+        assert model_kl_to_data(binary_table, net) == pytest.approx(0.0, abs=1e-9)
+
+    def test_kl_decreases_with_better_structure(self, binary_table):
+        independent = BayesianNetwork(
+            [APPair.make(n, []) for n in binary_table.attribute_names]
+        )
+        chain = _chain(list(binary_table.attribute_names))
+        assert model_kl_to_data(binary_table, chain) <= model_kl_to_data(
+            binary_table, independent
+        ) + 1e-9
+
+    def test_equation_6_identity(self, binary_table):
+        """Eq. 6: D_KL = -Σ I(X_i, Π_i) + Σ H(X_i) - H(A)."""
+        from repro.infotheory.measures import entropy
+
+        net = _chain(list(binary_table.attribute_names))
+        names = list(binary_table.attribute_names)
+        sum_mi = network_mutual_information(binary_table, net)
+        sum_h = sum(
+            entropy(joint_distribution(binary_table, [n])) for n in names
+        )
+        h_all = entropy(joint_distribution(binary_table, names))
+        expected = -sum_mi + sum_h - h_all
+        assert model_kl_to_data(binary_table, net) == pytest.approx(
+            expected, abs=1e-9
+        )
+
+    def test_oversized_domain_rejected(self):
+        rng = np.random.default_rng(0)
+        attrs = [
+            Attribute(f"x{i}", tuple(str(v) for v in range(30))) for i in range(5)
+        ]
+        table = Table(
+            attrs, {a.name: rng.integers(0, 30, 10) for a in attrs}
+        )
+        net = _chain([a.name for a in attrs])
+        with pytest.raises(ValueError, match="too large"):
+            exact_model_joint(table, net)

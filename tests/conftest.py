@@ -1,0 +1,50 @@
+"""Shared fixtures: small deterministic tables used across the suite."""
+
+import numpy as np
+import pytest
+
+from repro.data.attribute import Attribute, AttributeKind
+from repro.data.table import Table
+from repro.data.taxonomy import TaxonomyTree
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def binary_table(rng):
+    """Four correlated binary attributes, n = 2000."""
+    n = 2000
+    a = rng.integers(0, 2, n)
+    b = np.where(rng.random(n) < 0.85, a, 1 - a)  # strongly follows a
+    c = rng.integers(0, 2, n)
+    d = np.where(rng.random(n) < 0.7, b ^ c, rng.integers(0, 2, n))
+    attrs = [Attribute.binary(name) for name in "abcd"]
+    return Table(attrs, {"a": a, "b": b, "c": c, "d": d})
+
+
+@pytest.fixture
+def mixed_table(rng):
+    """Binary + categorical + taxonomied attributes, n = 1500."""
+    n = 1500
+    color_tax = TaxonomyTree.from_groups(
+        ("red", "orange", "blue", "cyan"),
+        (("warm", ("red", "orange")), ("cold", ("blue", "cyan"))),
+    )
+    color = rng.integers(0, 4, n)
+    flag = (color < 2).astype(np.int64)
+    flag = np.where(rng.random(n) < 0.9, flag, 1 - flag)
+    size = rng.integers(0, 3, n)
+    attrs = [
+        Attribute(
+            "color",
+            ("red", "orange", "blue", "cyan"),
+            AttributeKind.CATEGORICAL,
+            taxonomy=color_tax,
+        ),
+        Attribute.binary("warm_flag"),
+        Attribute("size", ("S", "M", "L")),
+    ]
+    return Table(attrs, {"color": color, "warm_flag": flag, "size": size})

@@ -1,0 +1,150 @@
+"""Maximal parent sets (Algorithms 5 & 6): vs brute force, invariants."""
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.parent_sets import (
+    maximal_parent_sets,
+    maximal_parent_sets_generalized,
+    parent_set_domain_size,
+)
+from repro.data.attribute import Attribute
+from repro.data.taxonomy import TaxonomyTree
+
+
+def _attrs(sizes):
+    return [
+        Attribute(f"x{i}", tuple(f"v{j}" for j in range(s)))
+        for i, s in enumerate(sizes)
+    ]
+
+
+def _bruteforce_maximal(attrs, tau):
+    """Reference: enumerate all subsets, keep feasible maximal ones."""
+    if tau < 1.0:
+        return set()
+    feasible = []
+    for r in range(len(attrs) + 1):
+        for combo in itertools.combinations(attrs, r):
+            size = int(np.prod([a.size for a in combo])) if combo else 1
+            if size <= tau:
+                feasible.append(frozenset((a.name, 0) for a in combo))
+    maximal = {
+        s
+        for s in feasible
+        if not any(s < other for other in feasible)
+    }
+    return maximal
+
+
+class TestAlgorithm5:
+    def test_tau_below_one_admits_nothing(self):
+        assert maximal_parent_sets(_attrs([2, 2]), 0.5) == []
+
+    def test_empty_attrs_admit_empty_set(self):
+        assert maximal_parent_sets([], 4.0) == [frozenset()]
+
+    def test_all_fit(self):
+        attrs = _attrs([2, 2])
+        result = maximal_parent_sets(attrs, 4.0)
+        assert result == [frozenset({("x0", 0), ("x1", 0)})]
+
+    def test_budget_excludes_large_combination(self):
+        attrs = _attrs([2, 3])
+        result = set(maximal_parent_sets(attrs, 3.0))
+        # 2*3=6 > 3, so the maximal sets are the singletons.
+        assert result == {
+            frozenset({("x0", 0)}),
+            frozenset({("x1", 0)}),
+        }
+
+    def test_no_set_dominates_another(self):
+        attrs = _attrs([2, 3, 4, 2])
+        result = maximal_parent_sets(attrs, 12.0)
+        for a, b in itertools.combinations(result, 2):
+            assert not a < b and not b < a
+
+    def test_every_set_within_budget(self):
+        attrs = _attrs([2, 3, 4, 2])
+        by_name = {a.name: a for a in attrs}
+        for parent_set in maximal_parent_sets(attrs, 12.0):
+            assert parent_set_domain_size(parent_set, by_name) <= 12
+
+    @given(
+        sizes=st.lists(st.integers(2, 5), min_size=0, max_size=5),
+        tau=st.floats(0.5, 200.0),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_matches_bruteforce(self, sizes, tau):
+        attrs = _attrs(sizes)
+        result = set(maximal_parent_sets(attrs, tau))
+        assert result == _bruteforce_maximal(attrs, tau)
+
+
+class TestAlgorithm6:
+    def _taxonomied_attrs(self):
+        tax4 = TaxonomyTree.from_groups(
+            ("a", "b", "c", "d"),
+            (("ab", ("a", "b")), ("cd", ("c", "d"))),
+        )
+        return [
+            Attribute("p", ("a", "b", "c", "d"), taxonomy=tax4),
+            Attribute("q", ("0", "1")),
+        ]
+
+    def test_generalization_used_when_budget_tight(self):
+        attrs = self._taxonomied_attrs()
+        # tau=4: {p(0), q} costs 8 > 4; {p(1), q} costs 4 ✓.
+        result = set(maximal_parent_sets_generalized(attrs, 4.0))
+        assert frozenset({("p", 1), ("q", 0)}) in result
+
+    def test_prefers_less_generalized_when_it_fits(self):
+        attrs = self._taxonomied_attrs()
+        result = set(maximal_parent_sets_generalized(attrs, 8.0))
+        assert result == {frozenset({("p", 0), ("q", 0)})}
+
+    def test_no_taxonomy_reduces_to_algorithm5(self):
+        attrs = _attrs([2, 3, 4])
+        for tau in (1.0, 3.0, 6.0, 24.0, 100.0):
+            gen = set(maximal_parent_sets_generalized(attrs, tau))
+            plain = set(maximal_parent_sets(attrs, tau))
+            assert gen == plain
+
+    def test_tau_below_one(self):
+        assert maximal_parent_sets_generalized(self._taxonomied_attrs(), 0.9) == []
+
+    def test_domain_budget_respected(self):
+        attrs = self._taxonomied_attrs()
+        by_name = {a.name: a for a in attrs}
+        for tau in (1.0, 2.0, 4.0, 8.0, 16.0):
+            for parent_set in maximal_parent_sets_generalized(attrs, tau):
+                assert parent_set_domain_size(parent_set, by_name) <= tau
+
+    def test_no_member_refinable(self):
+        """Maximality: refining any member one level must bust the budget."""
+        attrs = self._taxonomied_attrs()
+        by_name = {a.name: a for a in attrs}
+        for tau in (2.0, 4.0, 8.0):
+            for parent_set in maximal_parent_sets_generalized(attrs, tau):
+                for name, level in parent_set:
+                    if level == 0:
+                        continue
+                    refined = (parent_set - {(name, level)}) | {(name, level - 1)}
+                    assert parent_set_domain_size(refined, by_name) > tau
+
+
+class TestDomainSize:
+    def test_empty_set(self):
+        assert parent_set_domain_size(frozenset(), {}) == 1
+
+    def test_generalized_member(self):
+        tax = TaxonomyTree.from_groups(
+            ("a", "b", "c", "d"), (("ab", ("a", "b")), ("cd", ("c", "d")))
+        )
+        attr = Attribute("p", ("a", "b", "c", "d"), taxonomy=tax)
+        assert parent_set_domain_size(frozenset({("p", 0)}), {"p": attr}) == 4
+        assert parent_set_domain_size(frozenset({("p", 1)}), {"p": attr}) == 2

@@ -1,0 +1,113 @@
+"""Ancestral sampling: schema fidelity and distribution convergence."""
+
+import numpy as np
+import pytest
+
+from repro.bn.network import APPair, BayesianNetwork
+from repro.core.noisy_conditionals import (
+    ConditionalTable,
+    NoisyModel,
+    noisy_conditionals_general,
+)
+from repro.core.sampler import sample_synthetic
+from repro.data.attribute import Attribute
+from repro.data.marginals import joint_distribution
+from repro.data.table import Table
+from repro.data.taxonomy import TaxonomyTree
+
+
+def _manual_model():
+    """Hand-built model: a ~ Bern(0.3); b = a with prob 0.9."""
+    attrs = [Attribute.binary("a"), Attribute.binary("b")]
+    network = BayesianNetwork(
+        [APPair.make("a", []), APPair.make("b", ["a"])]
+    )
+    conditionals = (
+        ConditionalTable("a", (), (), 2, np.array([[0.7, 0.3]])),
+        ConditionalTable(
+            "b", (("a", 0),), (2,), 2, np.array([[0.9, 0.1], [0.1, 0.9]])
+        ),
+    )
+    return NoisyModel(network, conditionals), attrs
+
+
+class TestSampling:
+    def test_schema_and_size(self):
+        model, attrs = _manual_model()
+        synthetic = sample_synthetic(model, attrs, 500, np.random.default_rng(0))
+        assert synthetic.n == 500
+        assert synthetic.attribute_names == ("a", "b")
+
+    def test_zero_rows(self):
+        model, attrs = _manual_model()
+        synthetic = sample_synthetic(model, attrs, 0, np.random.default_rng(0))
+        assert synthetic.n == 0
+
+    def test_negative_rows_rejected(self):
+        model, attrs = _manual_model()
+        with pytest.raises(ValueError):
+            sample_synthetic(model, attrs, -1, np.random.default_rng(0))
+
+    def test_marginal_converges(self):
+        model, attrs = _manual_model()
+        synthetic = sample_synthetic(
+            model, attrs, 100_000, np.random.default_rng(1)
+        )
+        assert synthetic.column("a").mean() == pytest.approx(0.3, abs=0.01)
+
+    def test_conditional_converges(self):
+        model, attrs = _manual_model()
+        synthetic = sample_synthetic(
+            model, attrs, 100_000, np.random.default_rng(2)
+        )
+        a = synthetic.column("a")
+        b = synthetic.column("b")
+        agree = (a == b).mean()
+        assert agree == pytest.approx(0.9, abs=0.01)
+
+    def test_end_to_end_distribution_recovery(self, binary_table):
+        """Sampling from a noiseless model reproduces the joint closely."""
+        names = list(binary_table.attribute_names)
+        network = BayesianNetwork(
+            [APPair.make(names[0], [])]
+            + [
+                APPair.make(cur, [prev])
+                for prev, cur in zip(names, names[1:])
+            ]
+        )
+        model = noisy_conditionals_general(
+            binary_table, network, None, np.random.default_rng(0)
+        )
+        synthetic = sample_synthetic(
+            model, binary_table.attributes, 80_000, np.random.default_rng(3)
+        )
+        for prev, cur in zip(names, names[1:]):
+            truth = joint_distribution(binary_table, [prev, cur])
+            sampled = joint_distribution(synthetic, [prev, cur])
+            assert np.abs(truth - sampled).max() < 0.02
+
+    def test_generalized_parent_sampling(self):
+        """A child conditioned on a generalized parent maps raw draws
+        through the taxonomy before indexing the conditional."""
+        tax = TaxonomyTree.from_groups(
+            ("a", "b", "c", "d"), (("ab", ("a", "b")), ("cd", ("c", "d")))
+        )
+        attrs = [
+            Attribute("p", ("a", "b", "c", "d"), taxonomy=tax),
+            Attribute.binary("q"),
+        ]
+        network = BayesianNetwork(
+            [APPair.make("p", []), APPair.make("q", [("p", 1)])]
+        )
+        conditionals = (
+            ConditionalTable("p", (), (), 4, np.array([[0.25, 0.25, 0.25, 0.25]])),
+            # q = 1 iff p generalizes to group "cd".
+            ConditionalTable(
+                "q", (("p", 1),), (2,), 2, np.array([[1.0, 0.0], [0.0, 1.0]])
+            ),
+        )
+        model = NoisyModel(network, conditionals)
+        synthetic = sample_synthetic(model, attrs, 20_000, np.random.default_rng(4))
+        p = synthetic.column("p")
+        q = synthetic.column("q")
+        assert ((p >= 2) == (q == 1)).all()

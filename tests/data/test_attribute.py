@@ -1,0 +1,111 @@
+"""Attribute descriptor behaviour: domains, kinds, generalization, coding."""
+
+import numpy as np
+import pytest
+
+from repro.data.attribute import Attribute, AttributeKind, discretize_continuous
+from repro.data.taxonomy import TaxonomyTree
+
+
+class TestAttributeBasics:
+    def test_size_is_domain_cardinality(self):
+        attr = Attribute("x", ("a", "b", "c"))
+        assert attr.size == 3
+
+    def test_binary_constructor(self):
+        attr = Attribute.binary("flag")
+        assert attr.kind is AttributeKind.BINARY
+        assert attr.size == 2
+        assert attr.is_binary
+
+    def test_empty_domain_rejected(self):
+        with pytest.raises(ValueError, match="empty domain"):
+            Attribute("x", ())
+
+    def test_duplicate_labels_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            Attribute("x", ("a", "a"))
+
+    def test_binary_kind_requires_two_values(self):
+        with pytest.raises(ValueError, match="exactly 2"):
+            Attribute("x", ("a", "b", "c"), AttributeKind.BINARY)
+
+    def test_taxonomy_leaf_count_must_match(self):
+        tax = TaxonomyTree(("a", "b"))
+        with pytest.raises(ValueError, match="leaves"):
+            Attribute("x", ("a", "b", "c"), taxonomy=tax)
+
+
+class TestEncodeDecode:
+    def test_roundtrip(self):
+        attr = Attribute("x", ("a", "b", "c"))
+        codes = attr.encode(["c", "a", "b", "b"])
+        assert codes.tolist() == [2, 0, 1, 1]
+        assert attr.decode(codes) == ["c", "a", "b", "b"]
+
+    def test_unknown_label_rejected(self):
+        attr = Attribute("x", ("a", "b"))
+        with pytest.raises(ValueError, match="not in domain"):
+            attr.encode(["z"])
+
+
+class TestGeneralization:
+    def _taxonomied(self):
+        tax = TaxonomyTree.from_groups(
+            ("a", "b", "c", "d"),
+            (("ab", ("a", "b")), ("cd", ("c", "d"))),
+        )
+        return Attribute("x", ("a", "b", "c", "d"), taxonomy=tax)
+
+    def test_level_zero_is_identity(self):
+        attr = self._taxonomied()
+        assert attr.generalized(0) is attr
+        assert attr.generalization_map(0).tolist() == [0, 1, 2, 3]
+
+    def test_level_one_merges_groups(self):
+        attr = self._taxonomied()
+        gen = attr.generalized(1)
+        assert gen.size == 2
+        assert attr.generalization_map(1).tolist() == [0, 0, 1, 1]
+
+    def test_height_without_taxonomy_is_one(self):
+        assert Attribute("x", ("a", "b")).height == 1
+
+    def test_generalize_without_taxonomy_fails(self):
+        with pytest.raises(ValueError, match="no taxonomy"):
+            Attribute("x", ("a", "b")).generalized(1)
+
+
+class TestDiscretizeContinuous:
+    def test_bin_count_and_range(self):
+        data = np.linspace(0.0, 100.0, 500)
+        attr, codes = discretize_continuous("v", data, bins=8)
+        assert attr.size == 8
+        assert codes.min() == 0 and codes.max() == 7
+        assert attr.kind is AttributeKind.CONTINUOUS
+
+    def test_values_outside_range_clamped(self):
+        attr, codes = discretize_continuous(
+            "v", np.array([-5.0, 500.0]), bins=4, low=0.0, high=100.0
+        )
+        assert codes.tolist() == [0, 3]
+
+    def test_binary_taxonomy_attached(self):
+        attr, _ = discretize_continuous("v", np.arange(16.0), bins=16)
+        assert attr.taxonomy is not None
+        # 16 -> 8 -> 4 -> 2 levels.
+        assert attr.taxonomy.height == 4
+
+    def test_monotone_binning(self):
+        data = np.array([1.0, 2.0, 3.0, 4.0])
+        _, codes = discretize_continuous("v", data, bins=4)
+        assert sorted(codes.tolist()) == codes.tolist()
+
+    def test_constant_column(self):
+        attr, codes = discretize_continuous("v", np.full(10, 3.0), bins=4)
+        assert attr.size == 4
+        assert np.all(codes >= 0) and np.all(codes < 4)
+
+    def test_too_few_bins_rejected(self):
+        with pytest.raises(ValueError, match="at least 2"):
+            discretize_continuous("v", np.arange(4.0), bins=1)

@@ -1,0 +1,114 @@
+"""TaxonomyTree: construction, level maps, invariants."""
+
+import numpy as np
+import pytest
+
+from repro.data.taxonomy import TaxonomyTree
+
+
+class TestConstruction:
+    def test_leaves_only(self):
+        tax = TaxonomyTree(("a", "b", "c"))
+        assert tax.height == 1
+        assert tax.leaf_count == 3
+        assert tax.level_labels(0) == ("a", "b", "c")
+
+    def test_explicit_level(self):
+        tax = TaxonomyTree(("a", "b", "c", "d"), [([0, 0, 1, 1], ["ab", "cd"])])
+        assert tax.height == 2
+        assert tax.level_size(1) == 2
+        assert tax.leaf_to_level(1).tolist() == [0, 0, 1, 1]
+
+    def test_empty_leaves_rejected(self):
+        with pytest.raises(ValueError, match="at least one leaf"):
+            TaxonomyTree(())
+
+    def test_level_must_shrink(self):
+        with pytest.raises(ValueError, match="strictly smaller"):
+            TaxonomyTree(("a", "b"), [([0, 1], ["x", "y"])])
+
+    def test_parent_assignment_must_cover(self):
+        with pytest.raises(ValueError, match="cover"):
+            TaxonomyTree(("a", "b", "c"), [([0, 0, 0], ["x", "y"])])
+
+    def test_wrong_parent_shape_rejected(self):
+        with pytest.raises(ValueError, match="shape"):
+            TaxonomyTree(("a", "b", "c"), [([0, 0], ["x"])])
+
+
+class TestLevelMaps:
+    def test_identity_at_level_zero(self):
+        tax = TaxonomyTree(("a", "b", "c", "d"), [([0, 0, 1, 1], ["ab", "cd"])])
+        assert tax.leaf_to_level(0).tolist() == [0, 1, 2, 3]
+
+    def test_composition_over_two_levels(self):
+        tax = TaxonomyTree(
+            ("a", "b", "c", "d"),
+            [
+                ([0, 0, 1, 1], ["ab", "cd"]),
+            ],
+        )
+        assert tax.leaf_to_level(1).tolist() == [0, 0, 1, 1]
+
+    def test_out_of_range_level(self):
+        tax = TaxonomyTree(("a", "b"))
+        with pytest.raises(ValueError, match="out of range"):
+            tax.leaf_to_level(1)
+
+
+class TestBalancedBinary:
+    def test_sixteen_leaves_has_four_levels(self):
+        tax = TaxonomyTree.balanced_binary([str(i) for i in range(16)])
+        assert tax.height == 4
+        assert [tax.level_size(i) for i in range(4)] == [16, 8, 4, 2]
+
+    def test_adjacent_leaves_share_parents(self):
+        tax = TaxonomyTree.balanced_binary(list("abcdefgh"))
+        level1 = tax.leaf_to_level(1)
+        assert level1.tolist() == [0, 0, 1, 1, 2, 2, 3, 3]
+
+    def test_odd_leaf_count(self):
+        tax = TaxonomyTree.balanced_binary(list("abcde"))
+        level1 = tax.leaf_to_level(1)
+        assert level1.tolist() == [0, 0, 1, 1, 2]
+
+    def test_two_leaves_no_extra_levels(self):
+        tax = TaxonomyTree.balanced_binary(["a", "b"])
+        assert tax.height == 1
+
+
+class TestFromGroups:
+    def test_workclass_example(self):
+        # Figure 3 of the paper.
+        leaves = (
+            "Self-emp-inc", "Self-emp-not-inc", "Federal-gov", "State-gov",
+            "Local-gov", "Private", "Without-pay", "Never-worked",
+        )
+        tax = TaxonomyTree.from_groups(
+            leaves,
+            (
+                ("Self-employed", ("Self-emp-inc", "Self-emp-not-inc")),
+                ("Government", ("Federal-gov", "State-gov", "Local-gov")),
+                ("Private", ("Private",)),
+                ("Unemployed", ("Without-pay", "Never-worked")),
+            ),
+        )
+        assert tax.height == 2
+        assert tax.level_labels(1) == (
+            "Self-employed", "Government", "Private", "Unemployed",
+        )
+        assert tax.leaf_to_level(1).tolist() == [0, 0, 1, 1, 1, 2, 3, 3]
+
+    def test_unknown_member_rejected(self):
+        with pytest.raises(ValueError, match="not a leaf"):
+            TaxonomyTree.from_groups(("a", "b"), (("g", ("a", "z")),))
+
+    def test_double_assignment_rejected(self):
+        with pytest.raises(ValueError, match="two groups"):
+            TaxonomyTree.from_groups(
+                ("a", "b", "c"), (("g1", ("a", "b")), ("g2", ("b",)))
+            )
+
+    def test_uncovered_leaf_rejected(self):
+        with pytest.raises(ValueError, match="not covered"):
+            TaxonomyTree.from_groups(("a", "b", "c"), (("g1", ("a",)), ("g2", ("b",))))

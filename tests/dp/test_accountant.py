@@ -1,0 +1,69 @@
+"""Privacy accountant: sequential composition bookkeeping."""
+
+import pytest
+
+from repro.dp.accountant import PrivacyAccountant, PrivacyBudgetError
+
+
+class TestAccountant:
+    def test_charges_accumulate(self):
+        acc = PrivacyAccountant(1.0)
+        acc.charge("a", 0.3)
+        acc.charge("b", 0.2)
+        assert acc.spent == pytest.approx(0.5)
+        assert acc.remaining == pytest.approx(0.5)
+
+    def test_overspend_rejected(self):
+        acc = PrivacyAccountant(1.0)
+        acc.charge("a", 0.9)
+        with pytest.raises(PrivacyBudgetError, match="exceeds remaining"):
+            acc.charge("b", 0.2)
+
+    def test_overspend_leaves_ledger_unchanged(self):
+        acc = PrivacyAccountant(1.0)
+        acc.charge("a", 0.9)
+        try:
+            acc.charge("b", 0.2)
+        except PrivacyBudgetError:
+            pass
+        assert acc.spent == pytest.approx(0.9)
+        assert len(acc.ledger) == 1
+
+    def test_exact_spend_allowed(self):
+        acc = PrivacyAccountant(1.0)
+        for _ in range(10):
+            acc.charge("x", 0.1)
+        assert acc.remaining == pytest.approx(0.0, abs=1e-9)
+
+    def test_float_tolerance(self):
+        # 7 charges of 1/7 must not trip on rounding.
+        acc = PrivacyAccountant(1.0)
+        for _ in range(7):
+            acc.charge("x", 1.0 / 7.0)
+
+    def test_nonpositive_total_rejected(self):
+        with pytest.raises(ValueError):
+            PrivacyAccountant(0.0)
+
+    def test_nonpositive_charge_rejected(self):
+        acc = PrivacyAccountant(1.0)
+        with pytest.raises(ValueError):
+            acc.charge("x", 0.0)
+
+    def test_ledger_records_labels(self):
+        acc = PrivacyAccountant(1.0)
+        acc.charge("network", 0.3)
+        acc.charge("marginal[a]", 0.35)
+        labels = [label for label, _ in acc.ledger]
+        assert labels == ["network", "marginal[a]"]
+
+    def test_assert_exhausted(self):
+        acc = PrivacyAccountant(1.0)
+        acc.charge("x", 1.0)
+        acc.assert_exhausted()
+
+    def test_assert_exhausted_raises_when_unspent(self):
+        acc = PrivacyAccountant(1.0)
+        acc.charge("x", 0.5)
+        with pytest.raises(PrivacyBudgetError, match="not exhausted"):
+            acc.assert_exhausted()

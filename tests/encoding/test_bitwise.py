@@ -1,0 +1,124 @@
+"""Binary and Gray encodings: codes, round trips, decode clamping."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.attribute import Attribute
+from repro.data.table import Table
+from repro.encoding.bitwise import (
+    BinaryEncoder,
+    GrayEncoder,
+    bits_needed,
+    from_gray,
+    to_gray,
+)
+
+
+class TestBits:
+    def test_bits_needed(self):
+        assert bits_needed(2) == 1
+        assert bits_needed(3) == 2
+        assert bits_needed(4) == 2
+        assert bits_needed(5) == 3
+        assert bits_needed(16) == 4
+        assert bits_needed(41) == 6
+
+    def test_bits_needed_minimum_one(self):
+        assert bits_needed(1) == 1
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            bits_needed(0)
+
+
+class TestGrayCode:
+    def test_first_eight_codes(self):
+        # Figure 2's Gray sequence: 000,001,011,010,110,111,101,100.
+        codes = to_gray(np.arange(8))
+        assert codes.tolist() == [0b000, 0b001, 0b011, 0b010, 0b110, 0b111, 0b101, 0b100]
+
+    def test_adjacent_codes_differ_in_one_bit(self):
+        codes = to_gray(np.arange(64))
+        diffs = codes[:-1] ^ codes[1:]
+        assert all(bin(int(x)).count("1") == 1 for x in diffs)
+
+    @given(st.lists(st.integers(0, 2**20), min_size=1, max_size=50))
+    @settings(max_examples=60, deadline=None)
+    def test_roundtrip(self, values):
+        arr = np.array(values, dtype=np.int64)
+        assert (from_gray(to_gray(arr)) == arr).all()
+
+
+def _mixed():
+    attrs = [
+        Attribute.binary("flag"),
+        Attribute("color", ("r", "g", "b", "y", "p")),  # 5 values -> 3 bits
+    ]
+    rng = np.random.default_rng(7)
+    return Table(
+        attrs,
+        {"flag": rng.integers(0, 2, 300), "color": rng.integers(0, 5, 300)},
+    )
+
+
+@pytest.mark.parametrize("encoder_cls", [BinaryEncoder, GrayEncoder])
+class TestEncoders:
+    def test_all_encoded_attributes_binary(self, encoder_cls):
+        encoded = encoder_cls().encode(_mixed())
+        assert all(a.size == 2 for a in encoded.attributes)
+
+    def test_bit_count(self, encoder_cls):
+        encoded = encoder_cls().encode(_mixed())
+        assert encoded.d == 1 + 3  # flag:1 bit, color:3 bits
+
+    def test_roundtrip_exact(self, encoder_cls):
+        table = _mixed()
+        encoder = encoder_cls()
+        decoded = encoder.decode(encoder.encode(table))
+        for name in table.attribute_names:
+            assert (decoded.column(name) == table.column(name)).all()
+        assert decoded.attribute_names == table.attribute_names
+
+    def test_decode_clamps_invalid_patterns(self, encoder_cls):
+        """Synthetic bits may encode indices >= domain size; decode clamps."""
+        table = _mixed()
+        encoder = encoder_cls()
+        encoded = encoder.encode(table)
+        # Force every color bit to 1 → index 7 (or its Gray decode), > 4.
+        cols = {name: encoded.column(name).copy() for name in encoded.attribute_names}
+        for name in cols:
+            if name.startswith("color"):
+                cols[name][:] = 1
+        hacked = Table(encoded.attributes, cols)
+        decoded = encoder.decode(hacked)
+        assert decoded.column("color").max() <= 4
+
+    def test_decode_before_encode_fails(self, encoder_cls):
+        with pytest.raises(RuntimeError, match="before encode"):
+            encoder_cls().decode(_mixed())
+
+
+class TestGraySemantics:
+    def test_single_bit_flip_decodes_to_adjacent_value(self):
+        """The Gray property the paper motivates: one flipped bit in an
+        encoded value lands on an adjacent original value (Section 5.1)."""
+        attr = Attribute("v", tuple(str(i) for i in range(8)))
+        table = Table([attr], {"v": np.arange(8)})
+        encoder = GrayEncoder()
+        encoded = encoder.encode(table)
+        base = np.stack([encoded.column(f"v#b{b}") for b in range(3)], axis=1)
+        for bit in range(3):
+            flipped = base.copy()
+            flipped[:, bit] ^= 1
+            hacked = Table(
+                encoded.attributes,
+                {f"v#b{b}": flipped[:, b] for b in range(3)},
+            )
+            decoded = encoder.decode(hacked).column("v")
+            # Gray codes: flipping one bit moves to a value whose Gray code
+            # is adjacent in the code graph; for the reflected code the LSB
+            # flip always moves to a neighbour value.
+            if bit == 2:
+                assert np.abs(decoded - np.arange(8)).max() == 1

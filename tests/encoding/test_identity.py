@@ -1,0 +1,33 @@
+"""Vanilla/Hierarchical encoders and the encoder registry."""
+
+import pytest
+
+from repro.encoding import ENCODERS, make_encoder
+from repro.encoding.identity import HierarchicalEncoder, VanillaEncoder
+
+
+class TestIdentityEncoders:
+    def test_vanilla_is_identity(self, mixed_table):
+        encoder = VanillaEncoder()
+        assert encoder.encode(mixed_table) is mixed_table
+        assert encoder.decode(mixed_table) is mixed_table
+
+    def test_hierarchical_is_identity_on_data(self, mixed_table):
+        encoder = HierarchicalEncoder()
+        assert encoder.encode(mixed_table) is mixed_table
+
+    def test_generalization_flags(self):
+        assert not VanillaEncoder().uses_generalization
+        assert HierarchicalEncoder().uses_generalization
+
+
+class TestRegistry:
+    def test_all_four_present(self):
+        assert set(ENCODERS) == {"binary", "gray", "vanilla", "hierarchical"}
+
+    def test_make_encoder_case_insensitive(self):
+        assert isinstance(make_encoder("Vanilla"), VanillaEncoder)
+
+    def test_unknown_encoder(self):
+        with pytest.raises(ValueError, match="unknown encoding"):
+            make_encoder("base64")

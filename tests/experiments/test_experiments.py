@@ -1,0 +1,169 @@
+"""Experiment harnesses: tiny-scale runs of every figure + framework."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    render_result,
+    run_beta_sweep,
+    run_encoding_marginals,
+    run_encoding_svm,
+    run_error_source,
+    run_fig4,
+    run_marginals_comparison,
+    run_svm_comparison,
+    run_table5,
+    run_theta_sweep,
+    subsample_workload,
+)
+from repro.experiments.framework import ExperimentResult
+from repro.experiments.table5 import render_table5
+
+_TINY = dict(epsilons=(0.2, 1.6), repeats=1, n=800, seed=0)
+
+
+class TestFramework:
+    def test_series_length_validated(self):
+        result = ExperimentResult("x", "t", "eps", "err", x=[1, 2])
+        with pytest.raises(ValueError):
+            result.add("m", [1.0])
+
+    def test_render_contains_series(self):
+        result = ExperimentResult("x", "t", "eps", "err", x=[1, 2])
+        result.add("m", [0.5, 0.25])
+        text = render_result(result)
+        assert "m" in text and "0.5000" in text and "0.2500" in text
+
+    def test_subsample_deterministic(self):
+        workload = [(f"a{i}",) for i in range(50)]
+        s1 = subsample_workload(workload, 10, seed=1)
+        s2 = subsample_workload(workload, 10, seed=1)
+        assert s1 == s2
+        assert len(s1) == 10
+
+    def test_subsample_noop_when_small(self):
+        workload = [("a",), ("b",)]
+        assert subsample_workload(workload, 10) == workload
+
+
+class TestTable5:
+    def test_rows_and_rendering(self):
+        rows = run_table5(n=300, seed=0)
+        assert set(rows) == {"nltcs", "acs", "adult", "br2000"}
+        text = render_table5(rows)
+        assert "nltcs" in text and "45222" in text
+
+
+class TestFig4:
+    def test_binary_panel_has_all_scores(self):
+        result = run_fig4(dataset="nltcs", **_TINY)
+        assert set(result.series) == {"I", "R", "F", "NoPrivacy"}
+
+    def test_general_panel_drops_F(self):
+        result = run_fig4(dataset="br2000", **_TINY)
+        assert set(result.series) == {"I", "R", "NoPrivacy"}
+
+    def test_noprivacy_dominates_on_average(self):
+        result = run_fig4(dataset="nltcs", epsilons=(1.6,), repeats=3, n=2000)
+        ceiling = result.series["NoPrivacy"][0]
+        for name in ("I", "R", "F"):
+            assert result.series[name][0] <= ceiling + 1e-6
+
+
+class TestEncodings:
+    def test_marginals_panel(self):
+        result = run_encoding_marginals(
+            dataset="adult", alpha=2, max_marginals=8, **_TINY
+        )
+        assert set(result.series) == {
+            "binary-F", "gray-F", "vanilla-R", "hierarchical-R",
+        }
+        for values in result.series.values():
+            assert all(0.0 <= v <= 1.0 for v in values)
+
+    def test_svm_panel(self):
+        result = run_encoding_svm(dataset="br2000", task_index=0, **_TINY)
+        assert len(result.series) == 4
+        for values in result.series.values():
+            assert all(0.0 <= v <= 1.0 for v in values)
+
+
+class TestSweeps:
+    def test_beta_panel_count(self):
+        result = run_beta_sweep(
+            dataset="nltcs", kind="count", betas=(0.1, 0.5),
+            max_marginals=6, **_TINY
+        )
+        assert set(result.series) == {"eps=0.2", "eps=1.6"}
+        assert result.x == [0.1, 0.5]
+
+    def test_theta_panel_svm(self):
+        result = run_theta_sweep(
+            dataset="nltcs", kind="svm", thetas=(1.0, 8.0), **_TINY
+        )
+        assert len(result.series) == 2
+
+    def test_invalid_kind(self):
+        with pytest.raises(ValueError):
+            run_beta_sweep(dataset="nltcs", kind="weird", **_TINY)
+
+
+class TestErrorSource:
+    def test_three_variants(self):
+        result = run_error_source(
+            dataset="nltcs", kind="count", max_marginals=6, **_TINY
+        )
+        assert set(result.series) == {"PrivBayes", "BestNetwork", "BestMarginal"}
+
+    def test_best_marginal_dominates_on_counting(self):
+        result = run_error_source(
+            dataset="nltcs", kind="count", epsilons=(0.1,),
+            repeats=3, n=2000, max_marginals=10, seed=1,
+        )
+        assert (
+            result.series["BestMarginal"][0]
+            <= result.series["PrivBayes"][0] + 0.02
+        )
+
+
+class TestComparisons:
+    def test_marginals_panel_binary(self):
+        result = run_marginals_comparison(
+            dataset="nltcs", alpha=2, max_marginals=8, mwem_rounds=4, **_TINY
+        )
+        assert {"PrivBayes", "Laplace", "Fourier", "Contingency", "MWEM",
+                "Uniform"} == set(result.series)
+
+    def test_marginals_panel_general_drops_full_domain(self):
+        result = run_marginals_comparison(
+            dataset="br2000", alpha=2, max_marginals=6, **_TINY
+        )
+        assert "Contingency" not in result.series
+        assert "MWEM" not in result.series
+        assert "PrivBayes" in result.series
+
+    def test_svm_panel(self):
+        result = run_svm_comparison(
+            dataset="nltcs", task_index=0, privgene_iterations=3, **_TINY
+        )
+        assert {"NoPrivacy", "PrivBayes", "Majority", "PrivateERM",
+                "PrivateERM (Single)", "PrivGene"} == set(result.series)
+        # NoPrivacy is constant across epsilon.
+        values = result.series["NoPrivacy"]
+        assert values[0] == values[1]
+
+
+class TestCLI:
+    def test_main_table5(self, capsys):
+        from repro.experiments.__main__ import main
+
+        assert main(["table5", "--n", "200"]) == 0
+        out = capsys.readouterr().out
+        assert "Dataset characteristics" in out
+
+    def test_main_fig4_fast(self, capsys):
+        from repro.experiments.__main__ import main
+
+        assert main(["fig4", "--fast", "--n", "500", "--repeats", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "score functions" in out

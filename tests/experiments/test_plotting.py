@@ -1,0 +1,62 @@
+"""ASCII chart rendering of experiment results."""
+
+import pytest
+
+from repro.experiments.framework import ExperimentResult
+from repro.experiments.plotting import render_chart
+
+
+@pytest.fixture
+def result():
+    r = ExperimentResult("fig-x", "demo", "epsilon", "error", x=[0.1, 0.4, 1.6])
+    r.add("down", [0.9, 0.5, 0.1])
+    r.add("flat", [0.5, 0.5, 0.5])
+    return r
+
+
+class TestRenderChart:
+    def test_contains_title_and_legend(self, result):
+        text = render_chart(result)
+        assert "demo" in text
+        assert "o=down" in text
+        assert "x=flat" in text
+
+    def test_contains_axis_bounds(self, result):
+        text = render_chart(result)
+        assert "0.9000" in text  # y max
+        assert "0.1000" in text  # y min
+        assert "0.1" in text and "1.6" in text  # x bounds
+
+    def test_glyphs_plotted(self, result):
+        text = render_chart(result, width=30, height=8)
+        plot_lines = [l for l in text.splitlines() if "|" in l]
+        assert any("o" in l for l in plot_lines)
+        assert any("x" in l for l in plot_lines)
+
+    def test_monotone_series_has_monotone_rows(self, result):
+        text = render_chart(result, width=30, height=10, logx=True)
+        rows = {}
+        for i, line in enumerate(l for l in text.splitlines() if "|" in l):
+            for j, ch in enumerate(line.split("|", 1)[1]):
+                if ch == "o":
+                    rows[j] = i
+        cols = sorted(rows)
+        # Decreasing series: later columns plot on lower rows (larger i).
+        assert rows[cols[0]] < rows[cols[-1]]
+
+    def test_log_axis_requires_positive(self):
+        r = ExperimentResult("f", "t", "x", "y", x=[0.0, 1.0])
+        r.add("s", [1.0, 2.0])
+        with pytest.raises(ValueError, match="positive"):
+            render_chart(r, logx=True)
+
+    def test_empty_result_rejected(self):
+        r = ExperimentResult("f", "t", "x", "y", x=[1])
+        with pytest.raises(ValueError, match="no series"):
+            render_chart(r)
+
+    def test_constant_series_handled(self):
+        r = ExperimentResult("f", "t", "x", "y", x=[1, 2])
+        r.add("c", [0.5, 0.5])
+        text = render_chart(r)
+        assert "c" in text

@@ -1,0 +1,47 @@
+"""The run_all battery driver and result serialization."""
+
+import json
+
+import pytest
+
+from repro.experiments.framework import ExperimentResult
+from repro.experiments.run_all import SCALES, battery, main
+
+
+class TestResultSerialization:
+    def test_roundtrip(self):
+        result = ExperimentResult("fig-x", "t", "eps", "err", x=[0.1, 0.4])
+        result.add("m1", [0.5, 0.25])
+        restored = ExperimentResult.from_dict(result.to_dict())
+        assert restored.experiment == "fig-x"
+        assert restored.series == {"m1": [0.5, 0.25]}
+
+    def test_json_compatible(self):
+        result = ExperimentResult("fig-x", "t", "eps", "err", x=[0.1])
+        result.add("m", [1.0])
+        json.dumps(result.to_dict())  # must not raise
+
+
+class TestBattery:
+    def test_panel_inventory_covers_every_figure(self):
+        names = [name for name, _ in battery(SCALES["fast"])]
+        for token in ("fig4", "fig5/6", "fig7/8", "fig9", "fig10", "fig11",
+                      "fig12-15", "fig16-19"):
+            assert any(token in name for name in names), token
+
+    def test_scales_defined(self):
+        assert set(SCALES) == {"fast", "medium", "paper"}
+
+    def test_filtered_run_writes_outputs(self, tmp_path, capsys):
+        rc = main(
+            [
+                "--scale", "fast", "--out", str(tmp_path),
+                "--only", "fig4-nltcs",
+            ]
+        )
+        assert rc == 0
+        assert (tmp_path / "report.txt").exists()
+        json_files = list(tmp_path.glob("fig4-nltcs.json"))
+        assert len(json_files) == 1
+        data = json.loads(json_files[0].read_text())
+        assert "NoPrivacy" in data["series"]

@@ -1,0 +1,63 @@
+"""Shared sweep plumbing: contexts, per-dataset release defaults."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.sweep_common import (
+    SWEEP_TASKS,
+    SweepContext,
+    private_release,
+)
+
+
+class TestSweepContext:
+    def test_count_context_has_workload(self):
+        ctx = SweepContext("nltcs", "count", n=600, max_marginals=5, seed=0)
+        assert len(ctx.workload) == 5
+        assert ctx.is_binary
+
+    def test_svm_context_has_test_split(self):
+        ctx = SweepContext("adult", "svm", n=600, seed=0)
+        assert not ctx.is_binary
+        assert ctx.X_test.shape[0] == ctx.y_test.shape[0]
+        assert ctx.X_test.shape[0] == pytest.approx(120, abs=2)  # 20% of 600
+
+    def test_invalid_kind(self):
+        with pytest.raises(ValueError):
+            SweepContext("nltcs", "other", n=100)
+
+    def test_all_four_datasets_configured(self):
+        assert set(SWEEP_TASKS) == {"nltcs", "acs", "adult", "br2000"}
+
+    def test_evaluate_count_metric_in_range(self, rng):
+        ctx = SweepContext("nltcs", "count", n=800, max_marginals=5, seed=0)
+        synthetic = private_release(
+            ctx.fit_table, 1.0, 0.3, 4.0, ctx.is_binary, rng
+        )
+        metric = ctx.evaluate(synthetic)
+        assert 0.0 <= metric <= 1.0
+
+    def test_evaluate_svm_metric_in_range(self, rng):
+        ctx = SweepContext("br2000", "svm", n=800, seed=0)
+        synthetic = private_release(
+            ctx.fit_table, 1.0, 0.3, 4.0, ctx.is_binary, rng
+        )
+        metric = ctx.evaluate(synthetic)
+        assert 0.0 <= metric <= 1.0
+
+
+class TestPrivateRelease:
+    def test_binary_release_schema(self, rng):
+        ctx = SweepContext("acs", "count", n=500, max_marginals=3, seed=0)
+        synthetic = private_release(
+            ctx.fit_table, 0.5, 0.3, 4.0, True, rng
+        )
+        assert synthetic.attribute_names == ctx.fit_table.attribute_names
+
+    def test_oracle_switches_propagate(self, rng):
+        ctx = SweepContext("nltcs", "count", n=500, max_marginals=3, seed=0)
+        synthetic = private_release(
+            ctx.fit_table, 0.5, 0.3, 4.0, True, rng,
+            oracle_network=True, oracle_marginals=True,
+        )
+        assert synthetic.n == ctx.fit_table.n

@@ -1,0 +1,138 @@
+"""Entropy / mutual information / KL / TVD: known values and invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.infotheory.measures import (
+    conditional_entropy,
+    entropy,
+    kl_divergence,
+    mutual_information,
+    mutual_information_from_table,
+    total_variation_distance,
+)
+
+
+class TestEntropy:
+    def test_uniform_binary_is_one_bit(self):
+        assert entropy(np.array([0.5, 0.5])) == pytest.approx(1.0)
+
+    def test_deterministic_is_zero(self):
+        assert entropy(np.array([1.0, 0.0])) == pytest.approx(0.0)
+
+    def test_uniform_k_is_log_k(self):
+        assert entropy(np.full(8, 1 / 8)) == pytest.approx(3.0)
+
+    @given(st.lists(st.floats(0.001, 1.0), min_size=2, max_size=20))
+    @settings(max_examples=60, deadline=None)
+    def test_bounds(self, weights):
+        p = np.array(weights)
+        p /= p.sum()
+        h = entropy(p)
+        assert -1e-9 <= h <= np.log2(p.size) + 1e-9
+
+
+class TestMutualInformation:
+    def test_independent_is_zero(self):
+        # Pr[Π, X] with child innermost; independent uniform bits.
+        joint = np.full(4, 0.25)
+        assert mutual_information(joint, 2) == pytest.approx(0.0)
+
+    def test_identical_binary_is_one_bit(self):
+        joint = np.array([0.5, 0.0, 0.0, 0.5])
+        assert mutual_information(joint, 2) == pytest.approx(1.0)
+
+    def test_paper_example_4_4(self):
+        # Both maximum joint distributions of Example 4.4 have I = 1.
+        left = np.array([[0.5, 0.0], [0.0, 0.5], [0.0, 0.0]]).reshape(-1)
+        right = np.array([[0.0, 0.5], [0.2, 0.0], [0.3, 0.0]]).reshape(-1)
+        assert mutual_information(left, 2) == pytest.approx(1.0)
+        assert mutual_information(right, 2) == pytest.approx(1.0)
+
+    def test_never_negative(self):
+        rng = np.random.default_rng(5)
+        for _ in range(30):
+            joint = rng.dirichlet(np.ones(12))
+            assert mutual_information(joint, 3) >= 0.0
+
+    def test_bounded_by_min_entropy(self):
+        rng = np.random.default_rng(6)
+        for _ in range(30):
+            joint = rng.dirichlet(np.ones(8))
+            matrix = joint.reshape(4, 2)
+            hx = entropy(matrix.sum(axis=0))
+            hp = entropy(matrix.sum(axis=1))
+            assert mutual_information(joint, 2) <= min(hx, hp) + 1e-9
+
+    def test_from_table(self, binary_table):
+        mi_ab = mutual_information_from_table(binary_table, "b", ["a"])
+        mi_ac = mutual_information_from_table(binary_table, "c", ["a"])
+        assert mi_ab > 0.3  # b strongly follows a
+        assert mi_ac < 0.05  # c independent of a
+
+    def test_from_table_empty_parents(self, binary_table):
+        assert mutual_information_from_table(binary_table, "a", []) == 0.0
+
+
+class TestConditionalEntropy:
+    def test_chain_rule(self):
+        rng = np.random.default_rng(7)
+        joint = rng.dirichlet(np.ones(6))
+        h_joint = entropy(joint)
+        h_parent = entropy(joint.reshape(-1, 2).sum(axis=1))
+        assert conditional_entropy(joint, 2) == pytest.approx(h_joint - h_parent)
+
+    def test_deterministic_child_zero(self):
+        joint = np.array([0.5, 0.0, 0.0, 0.5])
+        assert conditional_entropy(joint, 2) == pytest.approx(0.0)
+
+
+class TestKL:
+    def test_zero_for_identical(self):
+        p = np.array([0.3, 0.7])
+        assert kl_divergence(p, p) == pytest.approx(0.0)
+
+    def test_infinite_when_support_missing(self):
+        assert kl_divergence(np.array([0.5, 0.5]), np.array([1.0, 0.0])) == float(
+            "inf"
+        )
+
+    def test_nonnegative(self):
+        rng = np.random.default_rng(8)
+        for _ in range(30):
+            p = rng.dirichlet(np.ones(6))
+            q = rng.dirichlet(np.ones(6))
+            assert kl_divergence(p, q) >= -1e-9
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            kl_divergence(np.ones(2) / 2, np.ones(3) / 3)
+
+
+class TestTVD:
+    def test_identical_is_zero(self):
+        p = np.array([0.2, 0.8])
+        assert total_variation_distance(p, p) == 0.0
+
+    def test_disjoint_is_one(self):
+        assert total_variation_distance(
+            np.array([1.0, 0.0]), np.array([0.0, 1.0])
+        ) == pytest.approx(1.0)
+
+    def test_symmetric(self):
+        rng = np.random.default_rng(9)
+        p = rng.dirichlet(np.ones(5))
+        q = rng.dirichlet(np.ones(5))
+        assert total_variation_distance(p, q) == pytest.approx(
+            total_variation_distance(q, p)
+        )
+
+    @given(st.integers(0, 1000))
+    @settings(max_examples=40, deadline=None)
+    def test_bounds_property(self, seed):
+        rng = np.random.default_rng(seed)
+        p = rng.dirichlet(np.ones(6))
+        q = rng.dirichlet(np.ones(6))
+        assert 0.0 <= total_variation_distance(p, q) <= 1.0

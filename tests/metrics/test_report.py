@@ -1,0 +1,73 @@
+"""Utility report: exactness on identical tables, degradation with noise."""
+
+import numpy as np
+import pytest
+
+from repro.core.privbayes import PrivBayes
+from repro.metrics import utility_report
+
+
+class TestIdenticalTables:
+    def test_zero_distances(self, binary_table):
+        report = utility_report(binary_table, binary_table)
+        assert report.mean_attribute_tvd == pytest.approx(0.0)
+        assert report.mean_pair_tvd == pytest.approx(0.0)
+        assert report.mean_mi_retained == pytest.approx(1.0)
+
+    def test_counts(self, binary_table):
+        report = utility_report(binary_table, binary_table)
+        assert len(report.attributes) == 4
+        assert len(report.pairs) == 6
+
+
+class TestNoisyRelease:
+    def test_degrades_with_less_budget(self, binary_table):
+        def mean_tvd(eps, seed):
+            rng = np.random.default_rng(seed)
+            synthetic = PrivBayes(epsilon=eps).fit_sample(binary_table, rng=rng)
+            return utility_report(binary_table, synthetic).mean_pair_tvd
+
+        loose = np.mean([mean_tvd(0.02, s) for s in range(5)])
+        tight = np.mean([mean_tvd(8.0, s) for s in range(5)])
+        assert tight < loose
+
+    def test_mi_retention_meaningful(self, binary_table, rng):
+        synthetic = PrivBayes(epsilon=8.0).fit_sample(binary_table, rng=rng)
+        report = utility_report(binary_table, synthetic)
+        assert 0.0 <= report.mean_mi_retained <= 1.0
+
+    def test_worst_lists_sorted(self, binary_table, rng):
+        synthetic = PrivBayes(epsilon=0.5).fit_sample(binary_table, rng=rng)
+        report = utility_report(binary_table, synthetic)
+        worst = report.worst_pairs(6)
+        tvds = [p.tvd for p in worst]
+        assert tvds == sorted(tvds, reverse=True)
+
+    def test_render_contains_sections(self, binary_table, rng):
+        synthetic = PrivBayes(epsilon=1.0).fit_sample(binary_table, rng=rng)
+        text = utility_report(binary_table, synthetic).render()
+        assert "mean 1-way marginal TVD" in text
+        assert "worst pairs" in text
+
+
+class TestOptions:
+    def test_max_pairs_cap(self, binary_table):
+        report = utility_report(binary_table, binary_table, max_pairs=3)
+        assert len(report.pairs) == 3
+
+    def test_max_pairs_deterministic(self, binary_table):
+        r1 = utility_report(binary_table, binary_table, max_pairs=3, seed=5)
+        r2 = utility_report(binary_table, binary_table, max_pairs=3, seed=5)
+        assert [p.names for p in r1.pairs] == [p.names for p in r2.pairs]
+
+    def test_schema_mismatch_rejected(self, binary_table, mixed_table):
+        with pytest.raises(ValueError, match="schemas"):
+            utility_report(binary_table, mixed_table)
+
+    def test_mi_retained_clamps(self):
+        from repro.metrics.report import PairReport
+
+        inflated = PairReport(("a", "b"), 0.0, mi_original=0.1, mi_synthetic=0.5)
+        assert inflated.mi_retained == 1.0
+        zero = PairReport(("a", "b"), 0.0, mi_original=0.0, mi_synthetic=0.0)
+        assert zero.mi_retained == 1.0

@@ -1,0 +1,103 @@
+"""Consistency post-processing of released marginal families."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import LaplaceMarginals
+from repro.postprocess.consistency import (
+    consistency_error,
+    enforce_nonnegativity,
+    mutually_consistent_marginals,
+)
+from repro.workloads import all_alpha_marginals, average_variation_distance
+
+
+@pytest.fixture
+def sizes(binary_table):
+    return {a.name: a.size for a in binary_table.attributes}
+
+
+@pytest.fixture
+def noisy_release(binary_table, rng):
+    workload = all_alpha_marginals(binary_table, 2)
+    return (
+        LaplaceMarginals().release(binary_table, workload, 0.3, rng),
+        workload,
+    )
+
+
+class TestNonnegativity:
+    def test_clips_and_normalizes(self):
+        released = {("a",): np.array([0.8, -0.3, 0.5])}
+        fixed = enforce_nonnegativity(released)
+        assert (fixed[("a",)] >= 0).all()
+        assert fixed[("a",)].sum() == pytest.approx(1.0)
+
+    def test_idempotent(self):
+        released = {("a",): np.array([0.25, 0.75])}
+        fixed = enforce_nonnegativity(enforce_nonnegativity(released))
+        assert np.allclose(fixed[("a",)], [0.25, 0.75])
+
+
+class TestMutualConsistency:
+    def test_reduces_disagreement(self, binary_table, sizes, noisy_release):
+        released, _ = noisy_release
+        before = consistency_error(released, sizes)
+        fixed = mutually_consistent_marginals(released, sizes, rounds=5)
+        after = consistency_error(fixed, sizes)
+        assert after < before
+        assert after < 0.05
+
+    def test_outputs_remain_distributions(self, sizes, noisy_release):
+        released, _ = noisy_release
+        fixed = mutually_consistent_marginals(released, sizes, rounds=3)
+        for dist in fixed.values():
+            assert (dist >= 0).all()
+            assert dist.sum() == pytest.approx(1.0)
+
+    def test_consistent_input_unchanged(self, binary_table, sizes):
+        """Projections of one true distribution are already consistent."""
+        from repro.data.marginals import joint_distribution
+
+        workload = all_alpha_marginals(binary_table, 2)
+        released = {
+            tuple(names): joint_distribution(binary_table, list(names))
+            for names in workload
+        }
+        fixed = mutually_consistent_marginals(released, sizes, rounds=2)
+        for names in released:
+            assert np.allclose(fixed[names], released[names], atol=1e-9)
+
+    def test_does_not_hurt_accuracy_much(self, binary_table, sizes, noisy_release):
+        """Consistency is (near) accuracy-neutral on average."""
+        released, workload = noisy_release
+        before = average_variation_distance(binary_table, released, workload)
+        fixed = mutually_consistent_marginals(released, sizes, rounds=3)
+        after = average_variation_distance(binary_table, fixed, workload)
+        assert after <= before + 0.05
+
+    def test_invalid_rounds(self, sizes):
+        with pytest.raises(ValueError):
+            mutually_consistent_marginals({}, sizes, rounds=0)
+
+    def test_disjoint_marginals_untouched(self, sizes):
+        released = {
+            ("a", "b"): np.array([0.25, 0.25, 0.25, 0.25]),
+            ("c", "d"): np.array([0.4, 0.1, 0.1, 0.4]),
+        }
+        fixed = mutually_consistent_marginals(released, sizes, rounds=2)
+        for names in released:
+            assert np.allclose(fixed[names], released[names])
+
+
+class TestConsistencyError:
+    def test_zero_for_single_marginal(self, sizes):
+        released = {("a", "b"): np.full(4, 0.25)}
+        assert consistency_error(released, sizes) == 0.0
+
+    def test_detects_disagreement(self, sizes):
+        released = {
+            ("a", "b"): np.array([0.5, 0.0, 0.5, 0.0]),   # Pr[a] = (.5, .5)
+            ("a", "c"): np.array([0.9, 0.0, 0.1, 0.0]),   # Pr[a] = (.9, .1)
+        }
+        assert consistency_error(released, sizes) == pytest.approx(0.8)

@@ -1,0 +1,107 @@
+"""Numeric gradient checks for the SVM objectives (optimizer correctness)."""
+
+import numpy as np
+import pytest
+
+from repro.svm.linear import HuberSVM, LinearSVM, _smoothed_hinge
+
+
+def _numeric_gradient(fn, w, eps=1e-6):
+    grad = np.zeros_like(w)
+    for i in range(w.size):
+        up = w.copy()
+        down = w.copy()
+        up[i] += eps
+        down[i] -= eps
+        grad[i] = (fn(up) - fn(down)) / (2 * eps)
+    return grad
+
+
+@pytest.fixture
+def xy(rng):
+    n, p = 200, 6
+    X = rng.standard_normal((n, p)) / np.sqrt(p)
+    w_true = rng.standard_normal(p)
+    y = np.sign(X @ w_true + 0.1 * rng.standard_normal(n))
+    y[y == 0] = 1.0
+    return X, y
+
+
+class TestSmoothedHinge:
+    def test_zero_above_corner(self):
+        value, grad = _smoothed_hinge(np.array([1.5, 2.0]), 0.1)
+        assert np.all(value == 0.0)
+        assert np.all(grad == 0.0)
+
+    def test_linear_below_corner(self):
+        value, grad = _smoothed_hinge(np.array([-1.0]), 0.1)
+        assert grad[0] == -1.0
+        assert value[0] == pytest.approx(2.0)
+
+    def test_continuous_at_boundaries(self):
+        delta = 0.1
+        eps = 1e-9
+        lo, _ = _smoothed_hinge(np.array([1.0 - delta - eps]), delta)
+        hi, _ = _smoothed_hinge(np.array([1.0 - delta + eps]), delta)
+        assert lo[0] == pytest.approx(hi[0], abs=1e-6)
+
+    def test_derivative_matches_numeric(self):
+        delta = 0.05
+        margins = np.linspace(0.5, 1.5, 21)
+        _, grad = _smoothed_hinge(margins, delta)
+        eps = 1e-7
+        up, _ = _smoothed_hinge(margins + eps, delta)
+        down, _ = _smoothed_hinge(margins - eps, delta)
+        numeric = (up - down) / (2 * eps)
+        assert np.allclose(grad, numeric, atol=1e-4)
+
+
+class TestObjectiveGradients:
+    def test_linear_svm_gradient(self, xy, rng):
+        X, y = xy
+        model = LinearSVM(C=1.0, smoothing=1e-2)
+        delta = model.smoothing
+
+        def objective_value(w):
+            margins = y * (X @ w)
+            loss, _ = _smoothed_hinge(margins, delta)
+            return 0.5 * w @ w + model.C * loss.sum()
+
+        def objective_grad(w):
+            margins = y * (X @ w)
+            _, grad_margin = _smoothed_hinge(margins, delta)
+            return w + model.C * (X.T @ (grad_margin * y))
+
+        w = rng.standard_normal(X.shape[1]) * 0.3
+        assert np.allclose(
+            objective_grad(w), _numeric_gradient(objective_value, w), atol=1e-4
+        )
+
+    def test_huber_svm_gradient(self, xy, rng):
+        X, y = xy
+        model = HuberSVM(lam=0.05, huber_h=0.5)
+        n = X.shape[0]
+        b = rng.standard_normal(X.shape[1])
+
+        def objective_value(w):
+            margins = y * (X @ w)
+            loss, _ = model._huber_loss(margins)
+            return loss.mean() + 0.5 * model.lam * (w @ w) + (b @ w) / n
+
+        def objective_grad(w):
+            margins = y * (X @ w)
+            _, grad_margin = model._huber_loss(margins)
+            return (X.T @ (grad_margin * y)) / n + model.lam * w + b / n
+
+        w = rng.standard_normal(X.shape[1]) * 0.3
+        assert np.allclose(
+            objective_grad(w), _numeric_gradient(objective_value, w), atol=1e-4
+        )
+
+    def test_huber_loss_continuity(self):
+        model = HuberSVM(lam=0.1, huber_h=0.5)
+        eps = 1e-9
+        for corner in (0.5, 1.5):
+            lo, _ = model._huber_loss(np.array([corner - eps]))
+            hi, _ = model._huber_loss(np.array([corner + eps]))
+            assert lo[0] == pytest.approx(hi[0], abs=1e-6)

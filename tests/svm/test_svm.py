@@ -1,0 +1,126 @@
+"""SVM substrate: featurization, hinge/Huber trainers."""
+
+import numpy as np
+import pytest
+
+from repro.data.attribute import Attribute
+from repro.data.table import Table
+from repro.svm.features import BinaryTask, featurize
+from repro.svm.linear import HuberSVM, LinearSVM, misclassification_rate
+
+
+def _task_table(n=2000, seed=0):
+    rng = np.random.default_rng(seed)
+    x1 = rng.integers(0, 2, n)
+    x2 = rng.integers(0, 3, n)
+    label = ((x1 == 1) | (x2 == 2)).astype(np.int64)
+    label = np.where(rng.random(n) < 0.95, label, 1 - label)
+    attrs = [
+        Attribute.binary("x1"),
+        Attribute("x2", ("a", "b", "c")),
+        Attribute.binary("y", ("neg", "pos")),
+    ]
+    return Table(attrs, {"x1": x1, "x2": x2, "y": label})
+
+
+class TestFeaturize:
+    def test_shapes(self):
+        table = _task_table()
+        task = BinaryTask("t", "y", ("pos",))
+        X, y = featurize(table, task)
+        # x1 (2) + x2 (3) + bias = 6 columns; target excluded.
+        assert X.shape == (table.n, 6)
+        assert set(np.unique(y)) == {-1.0, 1.0}
+
+    def test_rows_unit_norm(self):
+        X, _ = featurize(_task_table(), BinaryTask("t", "y", ("pos",)))
+        norms = np.linalg.norm(X, axis=1)
+        assert np.allclose(norms, 1.0)
+
+    def test_labels_match_positive_set(self):
+        table = _task_table()
+        task = BinaryTask("t", "y", ("pos",))
+        _, y = featurize(table, task)
+        assert ((y > 0) == (table.column("y") == 1)).all()
+
+    def test_multi_value_positive_set(self):
+        table = _task_table()
+        task = BinaryTask("t", "x2", ("b", "c"))
+        y = task.labels(table)
+        assert ((y > 0) == (table.column("x2") >= 1)).all()
+
+
+class TestLinearSVM:
+    def test_learns_separable_concept(self):
+        table = _task_table()
+        task = BinaryTask("t", "y", ("pos",))
+        X, y = featurize(table, task)
+        model = LinearSVM().fit(X, y)
+        assert misclassification_rate(model, X, y) < 0.12
+
+    def test_generalizes(self):
+        train = _task_table(seed=0)
+        test = _task_table(seed=1)
+        task = BinaryTask("t", "y", ("pos",))
+        Xtr, ytr = featurize(train, task)
+        Xte, yte = featurize(test, task)
+        model = LinearSVM().fit(Xtr, ytr)
+        assert misclassification_rate(model, Xte, yte) < 0.12
+
+    def test_beats_majority(self):
+        table = _task_table()
+        task = BinaryTask("t", "y", ("pos",))
+        X, y = featurize(table, task)
+        base = min((y > 0).mean(), (y < 0).mean())
+        model = LinearSVM().fit(X, y)
+        assert misclassification_rate(model, X, y) < base
+
+    def test_predict_before_fit(self):
+        with pytest.raises(RuntimeError):
+            LinearSVM().predict(np.zeros((1, 3)))
+
+    def test_invalid_C(self):
+        with pytest.raises(ValueError):
+            LinearSVM(C=0.0)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            LinearSVM().fit(np.zeros((3, 2)), np.zeros(4))
+
+
+class TestHuberSVM:
+    def test_learns_separable_concept(self):
+        table = _task_table()
+        task = BinaryTask("t", "y", ("pos",))
+        X, y = featurize(table, task)
+        model = HuberSVM(lam=1e-3).fit(X, y)
+        assert misclassification_rate(model, X, y) < 0.12
+
+    def test_perturbation_shifts_solution(self):
+        table = _task_table()
+        X, y = featurize(table, BinaryTask("t", "y", ("pos",)))
+        clean = HuberSVM(lam=1e-2).fit(X, y).weights
+        rng = np.random.default_rng(0)
+        shifted = (
+            HuberSVM(lam=1e-2)
+            .fit(X, y, perturbation=rng.standard_normal(X.shape[1]) * 50.0)
+            .weights
+        )
+        assert not np.allclose(clean, shifted)
+
+    def test_extra_regularization_shrinks_weights(self):
+        table = _task_table()
+        X, y = featurize(table, BinaryTask("t", "y", ("pos",)))
+        loose = HuberSVM(lam=1e-3).fit(X, y).weights
+        tight = HuberSVM(lam=1e-3).fit(X, y, extra_regularization=10.0).weights
+        assert np.linalg.norm(tight) < np.linalg.norm(loose)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            HuberSVM(lam=0.0)
+        with pytest.raises(ValueError):
+            HuberSVM(huber_h=0.0)
+
+    def test_predict_before_fit(self):
+        with pytest.raises(RuntimeError):
+            HuberSVM().predict(np.zeros((1, 3)))

@@ -1,0 +1,93 @@
+"""The ``python -m repro`` command-line release tool."""
+
+import numpy as np
+import pytest
+
+from repro.__main__ import main
+from repro.data.io import read_csv, write_csv
+from repro.datasets import load_adult
+
+
+@pytest.fixture
+def csv_path(tmp_path):
+    table = load_adult(n=400, seed=0)
+    path = tmp_path / "input.csv"
+    write_csv(table, path)
+    return path
+
+
+class TestRelease:
+    def test_basic_release(self, csv_path, tmp_path, capsys):
+        out = tmp_path / "synthetic.csv"
+        rc = main(
+            [
+                "--input", str(csv_path), "--output", str(out),
+                "--epsilon", "1.0", "--seed", "3",
+            ]
+        )
+        assert rc == 0
+        synthetic = read_csv(out)
+        assert synthetic.n == 400
+        assert synthetic.d == 15
+
+    def test_rows_override(self, csv_path, tmp_path):
+        out = tmp_path / "synthetic.csv"
+        rc = main(
+            [
+                "--input", str(csv_path), "--output", str(out),
+                "--rows", "77", "--seed", "3",
+            ]
+        )
+        assert rc == 0
+        assert read_csv(out).n == 77
+
+    def test_report_flag(self, csv_path, tmp_path, capsys):
+        out = tmp_path / "synthetic.csv"
+        rc = main(
+            [
+                "--input", str(csv_path), "--output", str(out),
+                "--seed", "3", "--report",
+            ]
+        )
+        assert rc == 0
+        assert "utility report" in capsys.readouterr().out
+
+    def test_method_choice(self, csv_path, tmp_path):
+        out = tmp_path / "synthetic.csv"
+        rc = main(
+            [
+                "--input", str(csv_path), "--output", str(out),
+                "--method", "vanilla-R", "--seed", "3",
+            ]
+        )
+        assert rc == 0
+
+    def test_missing_arguments(self, capsys):
+        assert main([]) == 2
+        assert "required" in capsys.readouterr().err
+
+
+class TestModelPersistence:
+    def test_save_then_resample(self, csv_path, tmp_path, capsys):
+        out = tmp_path / "synthetic.csv"
+        model_path = tmp_path / "model.json"
+        rc = main(
+            [
+                "--input", str(csv_path), "--output", str(out),
+                "--seed", "3", "--save-model", str(model_path),
+            ]
+        )
+        assert rc == 0
+        assert model_path.exists()
+        out2 = tmp_path / "resampled.csv"
+        rc2 = main(
+            [
+                "--from-model", str(model_path), "--output", str(out2),
+                "--rows", "25", "--seed", "4",
+            ]
+        )
+        assert rc2 == 0
+        assert read_csv(out2).n == 25
+
+    def test_from_model_requires_output(self, tmp_path, capsys):
+        assert main(["--from-model", str(tmp_path / "m.json")]) == 2

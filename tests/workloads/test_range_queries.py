@@ -1,0 +1,106 @@
+"""Range-count query workloads over binned attributes."""
+
+import numpy as np
+import pytest
+
+from repro.core.privbayes import PrivBayes
+from repro.datasets import load_adult
+from repro.workloads.range_queries import (
+    RangeQuery,
+    average_range_error,
+    ordered_attributes,
+    random_range_queries,
+)
+
+
+@pytest.fixture(scope="module")
+def adult():
+    return load_adult(n=3000, seed=0)
+
+
+class TestRangeQuery:
+    def test_count_full_range_is_n(self, adult):
+        attr = adult.attribute("age")
+        query = RangeQuery((("age", 0, attr.size - 1),))
+        assert query.count(adult) == adult.n
+        assert query.fraction(adult) == pytest.approx(1.0)
+
+    def test_empty_range(self, adult):
+        query = RangeQuery((("age", 3, 2),))  # lo > hi: empty
+        assert query.count(adult) == 0
+
+    def test_conjunction_is_intersection(self, adult):
+        q_age = RangeQuery((("age", 0, 7),))
+        q_hours = RangeQuery((("hours_per_week", 0, 7),))
+        q_both = RangeQuery((("age", 0, 7), ("hours_per_week", 0, 7)))
+        assert q_both.count(adult) <= min(q_age.count(adult), q_hours.count(adult))
+
+    def test_complementary_ranges_partition(self, adult):
+        attr = adult.attribute("age")
+        low = RangeQuery((("age", 0, 7),)).count(adult)
+        high = RangeQuery((("age", 8, attr.size - 1),)).count(adult)
+        assert low + high == adult.n
+
+
+class TestGeneration:
+    def test_ordered_attributes_are_continuous(self, adult):
+        ordered = ordered_attributes(adult)
+        assert "age" in ordered and "hours_per_week" in ordered
+        assert "workclass" not in ordered
+
+    def test_random_queries_shape(self, adult):
+        queries = random_range_queries(
+            adult, 20, dimensions=2, rng=np.random.default_rng(0)
+        )
+        assert len(queries) == 20
+        for q in queries:
+            assert len(q.conditions) == 2
+
+    def test_ranges_are_valid(self, adult):
+        for q in random_range_queries(
+            adult, 50, dimensions=1, rng=np.random.default_rng(1)
+        ):
+            for name, lo, hi in q.conditions:
+                size = adult.attribute(name).size
+                assert 0 <= lo <= hi < size
+
+    def test_invalid_count(self, adult):
+        with pytest.raises(ValueError):
+            random_range_queries(adult, 0)
+
+    def test_invalid_dimensions(self, adult):
+        with pytest.raises(ValueError):
+            random_range_queries(adult, 5, dimensions=99)
+
+    def test_explicit_attribute_pool(self, adult):
+        queries = random_range_queries(
+            adult, 10, dimensions=1, rng=np.random.default_rng(2),
+            attributes=["age"],
+        )
+        assert all(q.conditions[0][0] == "age" for q in queries)
+
+
+class TestEvaluation:
+    def test_zero_error_on_identical_tables(self, adult):
+        queries = random_range_queries(
+            adult, 20, rng=np.random.default_rng(3)
+        )
+        assert average_range_error(adult, adult, queries) == pytest.approx(0.0)
+
+    def test_error_shrinks_with_budget(self, adult):
+        queries = random_range_queries(
+            adult, 25, rng=np.random.default_rng(4)
+        )
+
+        def err(eps, seed):
+            rng = np.random.default_rng(seed)
+            synthetic = PrivBayes(epsilon=eps).fit_sample(adult, rng=rng)
+            return average_range_error(adult, synthetic, queries)
+
+        loose = np.mean([err(0.05, s) for s in range(3)])
+        tight = np.mean([err(5.0, s) for s in range(3)])
+        assert tight < loose
+
+    def test_empty_query_list_rejected(self, adult):
+        with pytest.raises(ValueError):
+            average_range_error(adult, adult, [])

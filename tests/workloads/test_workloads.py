@@ -1,0 +1,93 @@
+"""Workloads: Q_alpha enumeration, TVD aggregation, SVM task definitions."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.datasets import load_dataset
+from repro.workloads import (
+    all_alpha_marginals,
+    average_variation_distance,
+    synthetic_marginals,
+    tasks_for,
+)
+from repro.workloads.svm_tasks import SVM_TASKS
+
+
+class TestQAlpha:
+    def test_count_is_binomial(self, binary_table):
+        assert len(all_alpha_marginals(binary_table, 2)) == math.comb(4, 2)
+        assert len(all_alpha_marginals(binary_table, 3)) == math.comb(4, 3)
+
+    def test_alpha_bounds(self, binary_table):
+        with pytest.raises(ValueError):
+            all_alpha_marginals(binary_table, 0)
+        with pytest.raises(ValueError):
+            all_alpha_marginals(binary_table, 5)
+
+    def test_marginals_are_unique(self, binary_table):
+        workload = all_alpha_marginals(binary_table, 2)
+        assert len(set(workload)) == len(workload)
+
+
+class TestEvaluation:
+    def test_zero_distance_for_exact_answers(self, binary_table):
+        workload = all_alpha_marginals(binary_table, 2)
+        released = synthetic_marginals(binary_table, workload)
+        assert average_variation_distance(
+            binary_table, released, workload
+        ) == pytest.approx(0.0)
+
+    def test_synthetic_evaluation_positive_for_noise(self, binary_table, rng):
+        from repro.core.privbayes import PrivBayes
+
+        workload = all_alpha_marginals(binary_table, 2)
+        synthetic = PrivBayes(epsilon=0.1).fit_sample(binary_table, rng=rng)
+        released = synthetic_marginals(synthetic, workload)
+        err = average_variation_distance(binary_table, released, workload)
+        assert err > 0.0
+
+    def test_empty_workload_rejected(self, binary_table):
+        with pytest.raises(ValueError):
+            average_variation_distance(binary_table, {}, [])
+
+
+class TestSVMTasks:
+    @pytest.mark.parametrize("dataset", ["nltcs", "acs", "adult", "br2000"])
+    def test_four_tasks_each(self, dataset):
+        table = load_dataset(dataset, n=300, seed=0)
+        tasks = tasks_for(dataset, table)
+        assert len(tasks) == 4
+
+    @pytest.mark.parametrize("dataset", ["nltcs", "acs", "adult", "br2000"])
+    def test_labels_are_binary_and_nondegenerate(self, dataset):
+        table = load_dataset(dataset, n=4000, seed=0)
+        for task in tasks_for(dataset, table):
+            labels = task.labels(table)
+            assert set(np.unique(labels)) == {-1.0, 1.0}, task.name
+            positive_rate = (labels > 0).mean()
+            assert 0.02 < positive_rate < 0.98, (task.name, positive_rate)
+
+    def test_adult_education_binarization(self):
+        table = load_dataset("adult", n=2000, seed=0)
+        task = [t for t in tasks_for("adult", table) if "education" in t.name][0]
+        labels = task.labels(table)
+        education = table.column("education")
+        attr = table.attribute("education")
+        postsec = {
+            attr.values.index(v)
+            for v in ("Bachelors", "Masters", "Prof-school", "Doctorate")
+        }
+        assert ((labels > 0) == np.isin(education, list(postsec))).all()
+
+    def test_br2000_age_threshold(self):
+        table = load_dataset("br2000", n=2000, seed=0)
+        task = [t for t in tasks_for("br2000", table) if "age" in t.name][0]
+        labels = task.labels(table)
+        # Positive iff the age bin's lower edge >= 18.75 (bins of 6.25 yrs).
+        assert ((labels > 0) == (table.column("age") >= 3)).all()
+
+    def test_unknown_dataset(self, binary_table):
+        with pytest.raises(ValueError, match="no SVM tasks"):
+            tasks_for("unknown", binary_table)
