@@ -20,13 +20,29 @@ BENCH_N = 2000
 #: Rendered series from the current benchmark session (appended per test).
 RESULTS_FILE = Path(__file__).parent / "latest_results.txt"
 
+#: True only when the session collected the entire benchmark battery.
+#: Partial runs (a single module, -k filters) print their series but leave
+#: the committed transcript alone, so reference numbers from the full
+#: battery are never truncated by a one-off benchmark invocation.
+_full_battery = False
 
-def pytest_sessionstart(session):
-    """Start each benchmark session with a fresh results transcript."""
-    try:
-        RESULTS_FILE.unlink()
-    except FileNotFoundError:
-        pass
+#: The transcript is cleared once, on the first full-battery write.
+_transcript_reset = False
+
+
+def pytest_collection_finish(session):
+    """Detect whether this session is about to run the whole battery."""
+    global _full_battery
+    if session.config.getoption("collectonly", default=False):
+        return
+    here = Path(__file__).parent
+    all_modules = {p.name for p in here.glob("test_bench_*.py")}
+    collected = {
+        Path(item.fspath).name
+        for item in session.items
+        if Path(item.fspath).parent == here
+    }
+    _full_battery = all_modules <= collected
 
 
 def run_once(benchmark, fn, **kwargs):
@@ -38,9 +54,22 @@ def report(rendered: str) -> None:
     """Print a rendered result and append it to the session transcript.
 
     pytest captures stdout of passing tests; the transcript file keeps the
-    series inspectable after `pytest benchmarks/ --benchmark-only`.
+    series inspectable after `pytest benchmarks/ --benchmark-only`.  Only
+    full-battery sessions write the transcript (see
+    :func:`pytest_collection_finish`).
     """
+    global _transcript_reset
     print()
     print(rendered)
+    if not _full_battery:
+        return
+    if not _transcript_reset:
+        # Reset lazily on the first write, not at collection time, so an
+        # interrupted or collect-only session never wipes the transcript.
+        try:
+            RESULTS_FILE.unlink()
+        except FileNotFoundError:
+            pass
+        _transcript_reset = True
     with RESULTS_FILE.open("a") as handle:
         handle.write(rendered + "\n\n")

@@ -18,7 +18,7 @@ from repro.infotheory.measures import total_variation_distance
 
 from conftest import report, run_once
 
-from test_bench_helpers import build_household_linked
+from bench_helpers import build_household_linked
 
 
 def _run(bounds, repeats, n, seed):

@@ -60,11 +60,24 @@ def pair_joint_distribution(
     return joint, child_attr.size
 
 
-def network_mutual_information(table: Table, network: BayesianNetwork) -> float:
-    """``sum_i I(X_i, Π_i)`` of the network on the empirical distribution."""
+def network_mutual_information(
+    table: Table, network: BayesianNetwork, mi_cache=None
+) -> float:
+    """``sum_i I(X_i, Π_i)`` of the network on the empirical distribution.
+
+    ``mi_cache`` is an optional
+    :class:`~repro.core.scoring.MutualInformationCache` (duck-typed to keep
+    this module import-light); pass one when scoring many networks over the
+    same table so repeated AP pairs are measured once.
+    """
+    if mi_cache is not None and mi_cache.table is not table:
+        raise ValueError("mi_cache was built for a different table")
     total = 0.0
     for pair in network:
         if not pair.parents:
+            continue
+        if mi_cache is not None:
+            total += mi_cache.pair_mi(pair.child, pair.parents)
             continue
         joint, child_size = pair_joint_distribution(table, pair.child, pair.parents)
         total += mutual_information(joint, child_size)

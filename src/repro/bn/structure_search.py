@@ -16,25 +16,48 @@ These are the gold standards the private algorithms approximate:
 from __future__ import annotations
 
 import itertools
-from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+from collections import deque
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
 from repro.bn.network import APPair, BayesianNetwork
+from repro.core.scoring import MutualInformationCache
 from repro.data.table import Table
-from repro.infotheory.measures import mutual_information_from_table
 
 
-def pairwise_mutual_information(table: Table) -> Dict[Tuple[str, str], float]:
-    """``I(X, Y)`` for every unordered attribute pair."""
+def _check_mi_cache(
+    mi_cache: Optional[MutualInformationCache], table: Table
+) -> MutualInformationCache:
+    """Use the caller's cache after checking it was built on this table."""
+    if mi_cache is None:
+        return MutualInformationCache(table)
+    if mi_cache.table is not table:
+        raise ValueError("mi_cache was built for a different table")
+    return mi_cache
+
+
+def pairwise_mutual_information(
+    table: Table, mi_cache: Optional[MutualInformationCache] = None
+) -> Dict[Tuple[str, str], float]:
+    """``I(X, Y)`` for every unordered attribute pair.
+
+    ``mi_cache`` (a shared :class:`~repro.core.scoring.MutualInformationCache`)
+    makes repeated calls over the same table free.
+    """
+    mi_cache = _check_mi_cache(mi_cache, table)
     names = list(table.attribute_names)
     out = {}
     for a, b in itertools.combinations(names, 2):
-        out[(a, b)] = mutual_information_from_table(table, b, [a])
+        out[(a, b)] = mi_cache.mi(b, (a,))
     return out
 
 
-def chow_liu_tree(table: Table, root: Optional[str] = None) -> BayesianNetwork:
+def chow_liu_tree(
+    table: Table,
+    root: Optional[str] = None,
+    mi_cache: Optional[MutualInformationCache] = None,
+) -> BayesianNetwork:
     """Exact optimal 1-degree network via maximum spanning tree.
 
     Kruskal over edges weighted by mutual information, then oriented away
@@ -49,7 +72,7 @@ def chow_liu_tree(table: Table, root: Optional[str] = None) -> BayesianNetwork:
         raise ValueError(f"unknown root {root!r}")
     if len(names) == 1:
         return BayesianNetwork([APPair.make(root, [])])
-    weights = pairwise_mutual_information(table)
+    weights = pairwise_mutual_information(table, mi_cache)
     edges = sorted(weights.items(), key=lambda kv: -kv[1])
     # Kruskal with union-find.
     parent_of = {name: name for name in names}
@@ -75,9 +98,9 @@ def chow_liu_tree(table: Table, root: Optional[str] = None) -> BayesianNetwork:
     # Orient away from the root (BFS); isolated attrs become parentless.
     pairs = [APPair.make(root, [])]
     visited = {root}
-    frontier = [root]
+    frontier = deque([root])
     while frontier:
-        current = frontier.pop(0)
+        current = frontier.popleft()
         for neighbor in adjacency[current]:
             if neighbor in visited:
                 continue
@@ -91,19 +114,25 @@ def chow_liu_tree(table: Table, root: Optional[str] = None) -> BayesianNetwork:
     return BayesianNetwork(pairs)
 
 
-def network_score(table: Table, network: BayesianNetwork) -> float:
+def network_score(
+    table: Table,
+    network: BayesianNetwork,
+    mi_cache: Optional[MutualInformationCache] = None,
+) -> float:
     """``Σ I(X_i, Π_i)`` of a network on the empirical distribution."""
+    mi_cache = _check_mi_cache(mi_cache, table)
     total = 0.0
     for pair in network:
         if pair.parents:
-            total += mutual_information_from_table(
-                table, pair.child, list(pair.parent_names)
-            )
+            total += mi_cache.mi(pair.child, pair.parent_names)
     return total
 
 
 def exhaustive_best_network(
-    table: Table, k: int, max_d: int = 12
+    table: Table,
+    k: int,
+    max_d: int = 12,
+    mi_cache: Optional[MutualInformationCache] = None,
 ) -> BayesianNetwork:
     """The true optimal ``k``-degree network by subset dynamic programming.
 
@@ -118,6 +147,7 @@ def exhaustive_best_network(
         raise ValueError(f"exhaustive search limited to d <= {max_d}")
     if d == 0:
         return BayesianNetwork([])
+    mi_cache = _check_mi_cache(mi_cache, table)
     index = {name: i for i, name in enumerate(names)}
 
     # Best parent set (and its MI) for each (attribute, available-mask).
@@ -132,7 +162,9 @@ def exhaustive_best_network(
         width = min(k, len(available))
         for r in range(width, width + 1):
             for combo in itertools.combinations(available, r):
-                mi = mutual_information_from_table(table, names[x], list(combo))
+                # The MI cache dedupes the same (child, combo) across the
+                # exponentially many masks that expose it.
+                mi = mi_cache.mi(names[x], combo)
                 if mi > best[0]:
                     best = (mi, combo)
         best_mi[key] = best

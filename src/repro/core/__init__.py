@@ -6,6 +6,8 @@ Public surface:
   (network learning → distribution learning → sampling, Section 3).
 * :mod:`~repro.core.scores` — score functions ``I``, ``F``, ``R``
   (Sections 4.2, 4.3, 5.3).
+* :mod:`~repro.core.scoring` — incremental candidate-scoring engine
+  (cross-round score memo, batched contingencies, shared MI cache).
 * :mod:`~repro.core.greedy_bayes` — Algorithms 2 and 4.
 * :mod:`~repro.core.parent_sets` — Algorithms 5 and 6.
 * :mod:`~repro.core.noisy_conditionals` — Algorithms 1 and 3.
@@ -23,6 +25,11 @@ from repro.core.scores import (
     sensitivity_R,
 )
 from repro.core.greedy_bayes import greedy_bayes_fixed_k, greedy_bayes_theta
+from repro.core.scoring import (
+    CandidateScorer,
+    MutualInformationCache,
+    ScoringCache,
+)
 from repro.core.parent_sets import (
     maximal_parent_sets,
     maximal_parent_sets_generalized,
@@ -48,6 +55,9 @@ __all__ = [
     "sensitivity_R",
     "greedy_bayes_fixed_k",
     "greedy_bayes_theta",
+    "CandidateScorer",
+    "MutualInformationCache",
+    "ScoringCache",
     "maximal_parent_sets",
     "maximal_parent_sets_generalized",
     "ConditionalTable",

@@ -11,141 +11,53 @@ Algorithm 4 handles general domains, constraining candidates through
 from __future__ import annotations
 
 import itertools
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional
 
 import numpy as np
 
 from repro.bn.network import APPair, BayesianNetwork
-from repro.bn.quality import generalized_codes
 from repro.core.parent_sets import (
-    ParentSet,
     maximal_parent_sets,
     maximal_parent_sets_generalized,
-    parent_set_domain_size,
 )
-from repro.core.scores import (
-    score_F,
-    score_I,
-    score_R,
-    sensitivity_F,
-    sensitivity_I,
-    sensitivity_R,
-)
+from repro.core.scoring import Candidate, CandidateScorer
 from repro.core.theta import usefulness_tau
-from repro.data.attribute import Attribute
-from repro.data.marginals import domain_size, flatten_index
 from repro.data.table import Table
 from repro.dp.mechanisms import exponential_mechanism
 
-Candidate = Tuple[str, Tuple[Tuple[str, int], ...]]
+#: Backwards-compatible alias; the scorer now lives in repro.core.scoring.
+_CandidateScorer = CandidateScorer
 
 
-class _CandidateScorer:
-    """Scores (child, parent-set) candidates with shared flattening caches.
-
-    Candidate enumeration revisits the same parent sets for many children
-    (and across greedy iterations), so the mixed-radix flattening of each
-    parent set — the expensive O(n) part — is computed once and cached.
-    """
-
-    def __init__(self, table: Table, score: str) -> None:
-        if score not in ("I", "F", "R"):
-            raise ValueError(f"unknown score function {score!r}")
-        self.table = table
-        self.score = score
-        self._generalized: dict = {}
-        self._parent_flat: dict = {}
-
-    def _codes(self, name: str, level: int) -> Tuple[np.ndarray, int]:
-        key = (name, level)
-        if key not in self._generalized:
-            self._generalized[key] = generalized_codes(self.table, name, level)
-        return self._generalized[key]
-
-    def _parent_index(
-        self, parents: Tuple[Tuple[str, int], ...]
-    ) -> Tuple[np.ndarray, int]:
-        """Flattened parent configuration per row, plus the parent domain."""
-        if parents not in self._parent_flat:
-            columns = []
-            sizes = []
-            for name, level in parents:
-                codes, size = self._codes(name, level)
-                columns.append(codes)
-                sizes.append(size)
-            if columns:
-                flat = flatten_index(np.stack(columns, axis=1), sizes)
-            else:
-                flat = np.zeros(self.table.n, dtype=np.int64)
-            self._parent_flat[parents] = (flat, domain_size(sizes))
-        return self._parent_flat[parents]
-
-    def counts(
-        self, child: str, parents: Tuple[Tuple[str, int], ...]
-    ) -> Tuple[np.ndarray, int]:
-        """Contingency counts ``Pr[Π, X]`` (child innermost)."""
-        parent_flat, parent_dom = self._parent_index(parents)
-        child_attr = self.table.attribute(child)
-        flat = parent_flat * child_attr.size + self.table.column(child)
-        counts = np.bincount(
-            flat, minlength=parent_dom * child_attr.size
-        ).astype(float)
-        return counts, child_attr.size
-
-    def __call__(
-        self, child: str, parents: Tuple[Tuple[str, int], ...]
-    ) -> float:
-        counts, child_size = self.counts(child, parents)
-        n = self.table.n
-        if self.score == "F":
-            if child_size != 2:
-                raise ValueError(
-                    f"score 'F' requires a binary child; {child!r} has "
-                    f"{child_size} values"
-                )
-            return score_F(counts, n)
-        joint = counts / n if n else counts
-        if self.score == "I":
-            return score_I(joint, child_size)
-        return score_R(joint, child_size)
-
-
-def _score_sensitivity(
-    score: str, n: int, child_size: int, parent_domain: int
-) -> float:
-    if score == "F":
-        return sensitivity_F(n)
-    if score == "R":
-        return sensitivity_R(n)
-    if score == "I":
-        return sensitivity_I(n, binary=(child_size == 2 or parent_domain == 2))
-    raise ValueError(f"unknown score function {score!r}")
+def _check_scorer(
+    scorer: Optional[CandidateScorer], table: Table, score: str
+) -> CandidateScorer:
+    """Use the caller-provided scorer (a reusable cache) or build a fresh one."""
+    if scorer is None:
+        return CandidateScorer(table, score)
+    if scorer.table is not table:
+        raise ValueError("scorer was built for a different table")
+    if scorer.score != score:
+        raise ValueError(
+            f"scorer uses score {scorer.score!r}, expected {score!r}"
+        )
+    return scorer
 
 
 def _select(
-    scorer: _CandidateScorer,
+    scorer: CandidateScorer,
     candidates: List[Candidate],
     epsilon: Optional[float],
     rng: np.random.Generator,
 ) -> Candidate:
     """Pick one candidate: exponential mechanism when ``epsilon`` is set,
     plain argmax otherwise (non-private reference)."""
-    table = scorer.table
-    scores = np.array([scorer(child, parents) for child, parents in candidates])
+    scores = scorer.score_batch(candidates)
     if epsilon is None:
         return candidates[int(np.argmax(scores))]
-    attrs = {a.name: a for a in table.attributes}
     # The per-selection sensitivity must hold for every candidate in Ω;
     # use the largest applicable sensitivity (only I varies by domain shape).
-    sensitivity = max(
-        _score_sensitivity(
-            scorer.score,
-            table.n,
-            attrs[child].size,
-            parent_set_domain_size(frozenset(parents), attrs),
-        )
-        for child, parents in candidates
-    )
+    sensitivity = scorer.selection_sensitivity(candidates)
     index = exponential_mechanism(scores, sensitivity, epsilon, rng)
     return candidates[index]
 
@@ -157,6 +69,7 @@ def greedy_bayes_fixed_k(
     score: str = "F",
     rng: Optional[np.random.Generator] = None,
     first_attribute: Optional[str] = None,
+    scorer: Optional[CandidateScorer] = None,
 ) -> BayesianNetwork:
     """Algorithm 2: greedy ``k``-degree network construction.
 
@@ -173,6 +86,11 @@ def greedy_bayes_fixed_k(
         One of ``'I' | 'F' | 'R'``.
     first_attribute:
         Override the random choice of the first (parentless) attribute.
+    scorer:
+        Optional pre-built :class:`~repro.core.scoring.CandidateScorer` for
+        this (table, score); pass one to reuse its memo across runs (e.g.
+        an ε sweep).  Scoring consumes no randomness, so sharing it leaves
+        the RNG draw sequence untouched.
     """
     if rng is None:
         rng = np.random.default_rng()
@@ -200,7 +118,7 @@ def greedy_bayes_fixed_k(
         if epsilon1 <= 0:
             raise ValueError("epsilon1 must be positive")
         per_round_epsilon = epsilon1 / max(1, d - 1)
-    scorer = _CandidateScorer(table, score)
+    scorer = _check_scorer(scorer, table, score)
     while remaining:
         width = min(k, len(placed))
         candidates: List[Candidate] = []
@@ -225,6 +143,7 @@ def greedy_bayes_theta(
     generalize: bool = False,
     rng: Optional[np.random.Generator] = None,
     first_attribute: Optional[str] = None,
+    scorer: Optional[CandidateScorer] = None,
 ) -> BayesianNetwork:
     """Algorithm 4: θ-useful network construction over general domains.
 
@@ -243,6 +162,9 @@ def greedy_bayes_theta(
     epsilon2:
         Distribution-learning budget; enters only through ``τ`` (a public
         quantity), so it is *not* spent here.
+    scorer:
+        Optional pre-built :class:`~repro.core.scoring.CandidateScorer`
+        for this (table, score), reusable across runs.
     """
     if rng is None:
         rng = np.random.default_rng()
@@ -265,7 +187,7 @@ def greedy_bayes_theta(
     enumerate_sets = (
         maximal_parent_sets_generalized if generalize else maximal_parent_sets
     )
-    scorer = _CandidateScorer(table, score)
+    scorer = _check_scorer(scorer, table, score)
     while remaining:
         placed_attrs = [table.attribute(name) for name in placed]
         candidates: List[Candidate] = []

@@ -67,11 +67,20 @@ class NoisyModel:
     network: BayesianNetwork
     conditionals: Tuple[ConditionalTable, ...]
 
+    def __post_init__(self) -> None:
+        # Sampling looks a conditional up once per attribute per draw batch;
+        # index by child so the lookup is O(1) instead of a scan over d.
+        object.__setattr__(
+            self,
+            "_by_child",
+            {table.child: table for table in self.conditionals},
+        )
+
     def conditional_for(self, child: str) -> ConditionalTable:
-        for table in self.conditionals:
-            if table.child == child:
-                return table
-        raise KeyError(f"no conditional for {child!r}")
+        try:
+            return self._by_child[child]
+        except KeyError:
+            raise KeyError(f"no conditional for {child!r}") from None
 
 
 def _pair_layout(

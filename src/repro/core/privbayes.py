@@ -54,7 +54,8 @@ class PrivBayesConfig:
         Total privacy budget ε.
     beta:
         Fraction of ε for network learning (ε₁ = βε).  Figure 9 studies
-        this; [0.2, 0.5] is the good range, 0.3 the default.
+        this; [0.2, 0.5] is the good range, 0.3 the default.  Must lie in
+        (0, 1): β = 0 leaves the exponential mechanism without budget.
     theta:
         Usefulness threshold (Definition 4.7).  Figure 10 studies this;
         [3, 6] is the good range, 4 the default.
@@ -89,14 +90,27 @@ class PrivBayesConfig:
     def __post_init__(self) -> None:
         if self.epsilon <= 0:
             raise ValueError("epsilon must be positive")
-        if not 0.0 <= self.beta < 1.0:
-            raise ValueError("beta must be in [0, 1)")
+        if not 0.0 < self.beta < 1.0:
+            raise ValueError(
+                f"beta must be in (0, 1); got {self.beta!r} — beta = 0 "
+                "would leave network learning (epsilon1 = beta * epsilon) "
+                "with no budget"
+            )
         if self.theta <= 0:
             raise ValueError("theta must be positive")
         if self.score not in ("auto", "I", "F", "R"):
             raise ValueError(f"unknown score {self.score!r}")
         if self.mode not in ("auto", "binary", "general"):
             raise ValueError(f"unknown mode {self.mode!r}")
+        if self.k is not None:
+            if self.k < 0:
+                raise ValueError(f"k must be non-negative; got {self.k!r}")
+            if self.mode == "general":
+                raise ValueError(
+                    "k is only used in binary mode (Algorithm 2); general "
+                    "mode derives the structure from theta-usefulness — "
+                    "unset k or use mode='binary'"
+                )
 
 
 @dataclass
@@ -138,9 +152,18 @@ class PrivBayes:
 
     # ------------------------------------------------------------------
     def fit(
-        self, table: Table, rng: Optional[np.random.Generator] = None
+        self,
+        table: Table,
+        rng: Optional[np.random.Generator] = None,
+        scoring_cache=None,
     ) -> PrivBayesModel:
-        """Run phases 1 and 2 (network + distribution learning)."""
+        """Run phases 1 and 2 (network + distribution learning).
+
+        ``scoring_cache`` is an optional
+        :class:`~repro.core.scoring.ScoringCache`; pass one when fitting
+        many models over the same table (an ε sweep) so candidate scores —
+        deterministic data statistics — are computed once across all fits.
+        """
         if rng is None:
             rng = np.random.default_rng()
         if table.d == 0 or table.n == 0:
@@ -150,19 +173,30 @@ class PrivBayes:
         if mode == "auto":
             all_binary = all(a.size == 2 for a in table.attributes)
             mode = "binary" if all_binary else "general"
+        if mode == "general" and config.k is not None:
+            raise ValueError(
+                f"config.k={config.k} is only used in binary mode "
+                "(Algorithm 2), but this table resolved to general mode — "
+                "unset k or force mode='binary'"
+            )
         score = config.score
         if score == "auto":
             score = "F" if mode == "binary" else "R"
         accountant = PrivacyAccountant(config.epsilon)
         epsilon1 = config.beta * config.epsilon
         epsilon2 = config.epsilon - epsilon1
+        scorer = (
+            scoring_cache.scorer(table, score)
+            if scoring_cache is not None
+            else None
+        )
         if mode == "binary":
             model, k = self._fit_binary(
-                table, score, epsilon1, epsilon2, accountant, rng
+                table, score, epsilon1, epsilon2, accountant, rng, scorer
             )
         else:
             model = self._fit_general(
-                table, score, epsilon1, epsilon2, accountant, rng
+                table, score, epsilon1, epsilon2, accountant, rng, scorer
             )
             k = None
         return PrivBayesModel(
@@ -179,14 +213,17 @@ class PrivBayes:
         table: Table,
         rng: Optional[np.random.Generator] = None,
         n: Optional[int] = None,
+        scoring_cache=None,
     ) -> Table:
         """Full pipeline: fit, then sample a synthetic table."""
         if rng is None:
             rng = np.random.default_rng()
-        return self.fit(table, rng).sample(n, rng)
+        return self.fit(table, rng, scoring_cache=scoring_cache).sample(n, rng)
 
     # ------------------------------------------------------------------
-    def _fit_binary(self, table, score, epsilon1, epsilon2, accountant, rng):
+    def _fit_binary(
+        self, table, score, epsilon1, epsilon2, accountant, rng, scorer=None
+    ):
         config = self.config
         d = table.d
         k = config.k
@@ -210,6 +247,7 @@ class PrivBayes:
                 score=score,
                 rng=rng,
                 first_attribute=config.first_attribute,
+                scorer=scorer,
             )
         model = noisy_conditionals_fixed_k(
             table,
@@ -221,7 +259,9 @@ class PrivBayes:
         )
         return model, k
 
-    def _fit_general(self, table, score, epsilon1, epsilon2, accountant, rng):
+    def _fit_general(
+        self, table, score, epsilon1, epsilon2, accountant, rng, scorer=None
+    ):
         config = self.config
         if score == "F":
             raise ValueError("score 'F' is not computable on general domains")
@@ -242,6 +282,7 @@ class PrivBayes:
                 generalize=config.generalize,
                 rng=rng,
                 first_attribute=config.first_attribute,
+                scorer=scorer,
             )
         return noisy_conditionals_general(
             table,

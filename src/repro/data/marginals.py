@@ -17,16 +17,46 @@ import numpy as np
 from repro.data.table import Table
 
 
+_INT64_MAX = np.iinfo(np.int64).max
+
+
 def domain_size(sizes: Sequence[int]) -> int:
-    """Product of domain sizes; 1 for the empty attribute set."""
+    """Product of domain sizes; 1 for the empty attribute set.
+
+    Computed in Python integers, so the result is exact no matter how wide
+    the joint domain is — use :func:`ensure_int64_domain` before trusting it
+    as a numpy index bound.
+    """
     size = 1
     for s in sizes:
         size *= int(s)
     return size
 
 
+def ensure_int64_domain(total: int, context: str = "joint domain") -> int:
+    """Reject joint domains whose flat indices would overflow int64.
+
+    ``flatten_index`` accumulates mixed-radix indices in int64; a joint
+    domain wider than ``2**63 - 1`` would wrap around silently and corrupt
+    every downstream count.  ``total`` must be the exact Python-int product
+    from :func:`domain_size`.
+    """
+    if int(total) > _INT64_MAX:
+        raise ValueError(
+            f"{context} has {total} cells, which exceeds the int64 indexing "
+            f"limit ({_INT64_MAX}); drop attributes from the set or "
+            "generalize them to coarser taxonomy levels"
+        )
+    return int(total)
+
+
 def flatten_index(codes: np.ndarray, sizes: Sequence[int]) -> np.ndarray:
-    """Mixed-radix flatten: ``(n, m)`` code matrix -> ``(n,)`` flat indices."""
+    """Mixed-radix flatten: ``(n, m)`` code matrix -> ``(n,)`` flat indices.
+
+    Raises :class:`ValueError` (instead of silently wrapping) when the
+    joint domain of ``sizes`` does not fit in int64.
+    """
+    ensure_int64_domain(domain_size(sizes))
     codes = np.asarray(codes, dtype=np.int64)
     if codes.ndim == 1:
         codes = codes[:, None]

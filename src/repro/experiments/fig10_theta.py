@@ -59,6 +59,7 @@ def run_theta_sweep(
                     theta,
                     context.is_binary,
                     rng,
+                    scoring_cache=context.scoring,
                 )
                 metrics.append(context.evaluate(synthetic))
             values.append(float(np.mean(metrics)))

@@ -68,6 +68,7 @@ def run_error_source(
                     theta,
                     context.is_binary,
                     rng,
+                    scoring_cache=context.scoring,
                     oracle_network=oracle_network,
                     oracle_marginals=oracle_marginals,
                 )

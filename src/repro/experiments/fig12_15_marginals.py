@@ -19,6 +19,7 @@ from repro.baselines import (
     UniformMarginals,
 )
 from repro.core.privbayes import DEFAULT_BETA, DEFAULT_THETA
+from repro.core.scoring import ScoringCache
 from repro.datasets import load_dataset
 from repro.experiments.framework import EPSILONS, ExperimentResult, subsample_workload
 from repro.experiments.sweep_common import private_release
@@ -74,13 +75,15 @@ def run_marginals_comparison(
         y_label="average variation distance",
         x=list(epsilons),
     )
+    scoring = ScoringCache()  # shared across the ε grid and repeats
     privbayes_values = []
     for eps_idx, epsilon in enumerate(epsilons):
         metrics = []
         for r in range(repeats):
             rng = np.random.default_rng(seed * 7919 + eps_idx * 101 + r)
             synthetic = private_release(
-                table, epsilon, beta, theta, is_binary, rng
+                table, epsilon, beta, theta, is_binary, rng,
+                scoring_cache=scoring,
             )
             released = synthetic_marginals(synthetic, eval_workload)
             metrics.append(

@@ -15,6 +15,7 @@ import numpy as np
 
 from repro.baselines import MajorityClassifier, PrivGene, PrivateERM
 from repro.core.privbayes import DEFAULT_BETA, DEFAULT_THETA
+from repro.core.scoring import ScoringCache
 from repro.datasets import load_dataset
 from repro.experiments.framework import EPSILONS, ExperimentResult
 from repro.experiments.sweep_common import private_release
@@ -68,8 +69,12 @@ def run_svm_comparison(
             values.append(float(np.mean(metrics)))
         return values
 
+    scoring = ScoringCache()  # shared across the ε grid and repeats
+
     def privbayes_one(epsilon, rng):
-        synthetic = private_release(train, epsilon, beta, theta, is_binary, rng)
+        synthetic = private_release(
+            train, epsilon, beta, theta, is_binary, rng, scoring_cache=scoring
+        )
         X_syn, y_syn = featurize(synthetic, task)
         if len(set(y_syn.tolist())) < 2:
             majority = y_syn[0] if y_syn.size else 1.0

@@ -17,6 +17,7 @@ import numpy as np
 from repro.bn.quality import network_mutual_information
 from repro.core.greedy_bayes import greedy_bayes_fixed_k, greedy_bayes_theta
 from repro.core.privbayes import DEFAULT_BETA, DEFAULT_THETA
+from repro.core.scoring import ScoringCache
 from repro.core.theta import choose_k_binary
 from repro.datasets import load_dataset
 from repro.experiments.framework import EPSILONS, ExperimentResult
@@ -24,14 +25,23 @@ from repro.experiments.framework import EPSILONS, ExperimentResult
 _BINARY_DATASETS = {"nltcs", "acs"}
 
 
-def _learn_network(table, dataset, score, epsilon1, epsilon2, theta, rng, first):
+def _learn_network(
+    table, dataset, score, epsilon1, epsilon2, theta, rng, first, scoring
+):
     """One network under the dataset's mode (binary fixed-k vs general θ)."""
+    scorer = scoring.scorer(table, score)
     if dataset in _BINARY_DATASETS:
         k = choose_k_binary(table.n, table.d, epsilon2, theta)
         if k == 0:
             k = 1  # the figure studies selection quality, not the k=0 corner
         return greedy_bayes_fixed_k(
-            table, k, epsilon1, score=score, rng=rng, first_attribute=first
+            table,
+            k,
+            epsilon1,
+            score=score,
+            rng=rng,
+            first_attribute=first,
+            scorer=scorer,
         )
     return greedy_bayes_theta(
         table,
@@ -41,6 +51,7 @@ def _learn_network(table, dataset, score, epsilon1, epsilon2, theta, rng, first)
         score=score,
         rng=rng,
         first_attribute=first,
+        scorer=scorer,
     )
 
 
@@ -55,6 +66,10 @@ def run_fig4(
 ) -> ExperimentResult:
     """Reproduce one panel of Figure 4."""
     table = load_dataset(dataset, n=n, seed=seed)
+    # One scoring cache for the whole figure: candidate scores and network
+    # MI are data statistics, shared across every (score, ε, repeat) cell.
+    scoring = ScoringCache()
+    mi_cache = scoring.mi_cache(table)
     binary = dataset in _BINARY_DATASETS
     scores = ["I", "R", "F"] if binary else ["I", "R"]
     result = ExperimentResult(
@@ -74,9 +89,12 @@ def run_fig4(
             for r in range(repeats):
                 rng = np.random.default_rng(seed * 7919 + eps_idx * 101 + r)
                 network = _learn_network(
-                    table, dataset, score, epsilon1, epsilon2, theta, rng, first
+                    table, dataset, score, epsilon1, epsilon2, theta, rng,
+                    first, scoring,
                 )
-                repeats_values.append(network_mutual_information(table, network))
+                repeats_values.append(
+                    network_mutual_information(table, network, mi_cache=mi_cache)
+                )
             values.append(float(np.mean(repeats_values)))
         result.add(score, values)
     # NoPrivacy ceiling: argmax greedy over I with the same ε-driven degree.
@@ -85,8 +103,10 @@ def run_fig4(
         epsilon2 = (1.0 - beta) * epsilon
         rng = np.random.default_rng(seed)
         network = _learn_network(
-            table, dataset, "I", None, epsilon2, theta, rng, first
+            table, dataset, "I", None, epsilon2, theta, rng, first, scoring
         )
-        ceiling.append(network_mutual_information(table, network))
+        ceiling.append(
+            network_mutual_information(table, network, mi_cache=mi_cache)
+        )
     result.add("NoPrivacy", ceiling)
     return result

@@ -60,6 +60,7 @@ def run_beta_sweep(
                     theta,
                     context.is_binary,
                     rng,
+                    scoring_cache=context.scoring,
                 )
                 metrics.append(context.evaluate(synthetic))
             values.append(float(np.mean(metrics)))

@@ -12,6 +12,7 @@ from typing import Optional, Tuple
 import numpy as np
 
 from repro.core.privbayes import PrivBayes
+from repro.core.scoring import ScoringCache
 from repro.data.table import Table
 from repro.datasets import load_dataset
 from repro.svm import LinearSVM, featurize, misclassification_rate
@@ -44,12 +45,15 @@ def private_release(
     rng: np.random.Generator,
     oracle_network: bool = False,
     oracle_marginals: bool = False,
+    scoring_cache: Optional[ScoringCache] = None,
 ) -> Table:
     """One PrivBayes release with the paper's per-dataset defaults.
 
     Binary datasets run the core directly in binary mode with score ``F``;
     general datasets run Hierarchical-R (general mode with taxonomy
     generalization).  The oracle switches are the Figure 11 diagnostics.
+    ``scoring_cache`` shares candidate scores across the many releases of a
+    sweep over the same table (see :class:`repro.core.scoring.ScoringCache`).
     """
     if is_binary:
         pipeline = PrivBayes(
@@ -72,7 +76,7 @@ def private_release(
             oracle_network=oracle_network,
             oracle_marginals=oracle_marginals,
         )
-    return pipeline.fit_sample(fit_table, rng=rng)
+    return pipeline.fit_sample(fit_table, rng=rng, scoring_cache=scoring_cache)
 
 
 class SweepContext:
@@ -91,6 +95,9 @@ class SweepContext:
         self.dataset = dataset
         self.kind = kind
         self.seed = seed
+        #: Shared across every release of the sweep: candidate scores are
+        #: data statistics of the fit table, identical at every ε.
+        self.scoring = ScoringCache()
         alpha, task_index, _ = SWEEP_TASKS[dataset]
         self.table = load_dataset(dataset, n=n, seed=seed)
         if kind == "count":

@@ -138,3 +138,13 @@ class TestFixedK:
         model = noisy_conditionals_general(binary_table, network, 1.0, rng)
         with pytest.raises(KeyError):
             model.conditional_for("nope")
+
+    def test_conditional_for_is_indexed(self, binary_table, rng):
+        # Lookups go through a precomputed child -> table dict, not a scan.
+        network = _chain_network(list(binary_table.attribute_names))
+        model = noisy_conditionals_general(binary_table, network, 1.0, rng)
+        for conditional in model.conditionals:
+            assert model.conditional_for(conditional.child) is conditional
+        assert model._by_child.keys() == {
+            t.child for t in model.conditionals
+        }

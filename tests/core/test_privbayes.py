@@ -22,6 +22,26 @@ class TestConfig:
         with pytest.raises(ValueError):
             PrivBayesConfig(epsilon=1.0, beta=1.0)
 
+    def test_beta_zero_rejected_at_construction(self):
+        # beta = 0 used to be accepted here and only fail deep inside
+        # greedy_bayes_* with "epsilon1 must be positive".
+        with pytest.raises(ValueError, match="beta must be in \\(0, 1\\)"):
+            PrivBayesConfig(epsilon=1.0, beta=0.0)
+
+    def test_negative_k_rejected(self):
+        with pytest.raises(ValueError, match="k must be non-negative"):
+            PrivBayesConfig(epsilon=1.0, k=-1)
+
+    def test_k_rejected_in_general_mode(self):
+        # k used to be silently ignored outside binary mode.
+        with pytest.raises(ValueError, match="only used in binary mode"):
+            PrivBayesConfig(epsilon=1.0, mode="general", k=2)
+
+    def test_k_rejected_when_auto_resolves_to_general(self, mixed_table, rng):
+        pipeline = PrivBayes(epsilon=1.0, k=2)  # auto mode: legal config
+        with pytest.raises(ValueError, match="only used in binary mode"):
+            pipeline.fit(mixed_table, rng=rng)
+
     def test_invalid_score(self):
         with pytest.raises(ValueError):
             PrivBayesConfig(epsilon=1.0, score="Z")

@@ -30,6 +30,21 @@ class TestFlatten:
         codes = unflatten_index(flat, [2, 3])
         assert flatten_index(codes, [2, 3]).tolist() == flat.tolist()
 
+    def test_int64_overflow_rejected(self):
+        # 2**40 * 2**40 cells overflows int64; must raise, not wrap.
+        codes = np.zeros((4, 2), dtype=np.int64)
+        with pytest.raises(ValueError, match="int64 indexing limit"):
+            flatten_index(codes, [2**40, 2**40])
+
+    def test_domain_size_is_exact_python_int(self):
+        total = domain_size([2**40, 2**40])
+        assert total == 2**80  # no wraparound: plain Python int
+
+    def test_widest_legal_domain_accepted(self):
+        codes = np.zeros((2, 2), dtype=np.int64)
+        flat = flatten_index(codes, [2**31, 2**31])  # 2**62 cells: fits
+        assert flat.tolist() == [0, 0]
+
     def test_shape_mismatch_rejected(self):
         with pytest.raises(ValueError, match="columns"):
             flatten_index(np.zeros((3, 2), dtype=int), [2])
