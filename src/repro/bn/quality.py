@@ -37,6 +37,51 @@ def generalized_codes(table: Table, name: str, level: int) -> Tuple[np.ndarray, 
     return mapping[codes], int(mapping.max()) + 1 if mapping.size else 1
 
 
+class ParentIndexCache:
+    """Cached per-row flattened configurations of (generalized) parent sets.
+
+    Both the candidate-scoring engine (:mod:`repro.core.scoring`) and the
+    distribution learner's :class:`~repro.core.noisy_conditionals.JointCounter`
+    need, per parent set, the mixed-radix flattening of every row's parent
+    values — the expensive O(n·|Π|) part of building any ``Pr[Π, X]``
+    contingency.  One cache per table serves both (shared through
+    :class:`~repro.core.scoring.ScoringCache`), so a parent set selected
+    during structure search is never re-flattened during distribution
+    learning.  Everything here is a deterministic data statistic; cached
+    arrays must be treated as read-only.
+    """
+
+    def __init__(self, table: Table) -> None:
+        self.table = table
+        self._codes: Dict[Tuple[str, int], Tuple[np.ndarray, int]] = {}
+        self._flat: Dict[Tuple, Tuple[np.ndarray, Tuple[int, ...]]] = {}
+
+    def codes(self, name: str, level: int) -> Tuple[np.ndarray, int]:
+        """Memoized :func:`generalized_codes`."""
+        key = (name, level)
+        if key not in self._codes:
+            self._codes[key] = generalized_codes(self.table, name, level)
+        return self._codes[key]
+
+    def flat(
+        self, parents: Tuple[Tuple[str, int], ...]
+    ) -> Tuple[np.ndarray, Tuple[int, ...]]:
+        """Flattened parent configuration per row, plus the parent sizes."""
+        if parents not in self._flat:
+            columns: List[np.ndarray] = []
+            sizes: List[int] = []
+            for name, level in parents:
+                codes, size = self.codes(name, level)
+                columns.append(codes)
+                sizes.append(size)
+            if columns:
+                flat = flatten_index(np.stack(columns, axis=1), sizes)
+            else:
+                flat = np.zeros(self.table.n, dtype=np.int64)
+            self._flat[parents] = (flat, tuple(sizes))
+        return self._flat[parents]
+
+
 def pair_joint_distribution(
     table: Table,
     child: str,

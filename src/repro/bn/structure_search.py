@@ -160,13 +160,12 @@ def exhaustive_best_network(
         available = [names[i] for i in range(d) if mask & (1 << i)]
         best = (0.0, ())
         width = min(k, len(available))
-        for r in range(width, width + 1):
-            for combo in itertools.combinations(available, r):
-                # The MI cache dedupes the same (child, combo) across the
-                # exponentially many masks that expose it.
-                mi = mi_cache.mi(names[x], combo)
-                if mi > best[0]:
-                    best = (mi, combo)
+        for combo in itertools.combinations(available, width):
+            # The MI cache dedupes the same (child, combo) across the
+            # exponentially many masks that expose it.
+            mi = mi_cache.mi(names[x], combo)
+            if mi > best[0]:
+                best = (mi, combo)
         best_mi[key] = best
         return best
 

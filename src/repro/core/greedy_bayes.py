@@ -188,12 +188,22 @@ def greedy_bayes_theta(
         maximal_parent_sets_generalized if generalize else maximal_parent_sets
     )
     scorer = _check_scorer(scorer, table, score)
+    # The enumeration memo persists across rounds (and, via a shared scorer,
+    # across the runs of a sweep).  Attributes are passed newest-first so
+    # each round's tail subproblems are exactly the previous round's full
+    # problems; the computed *set* of maximal parent sets is independent of
+    # the attribute order (see repro.core.parent_sets), so the candidate
+    # list — canonically sorted — is unchanged.  The non-incremental scorer
+    # is the seed-behavior reference for benchmarks: no cross-call memo.
+    parent_cache = scorer.parent_sets if scorer.incremental else None
     while remaining:
-        placed_attrs = [table.attribute(name) for name in placed]
+        placed_attrs = [table.attribute(name) for name in reversed(placed)]
         candidates: List[Candidate] = []
         for child in remaining:
             child_size = table.attribute(child).size
-            top = enumerate_sets(placed_attrs, tau_total / child_size)
+            top = enumerate_sets(
+                placed_attrs, tau_total / child_size, cache=parent_cache
+            )
             if not top:
                 candidates.append((child, ()))
             else:

@@ -8,6 +8,19 @@ AP pair, budget split evenly over all ``d``).
 Each released conditional is a :class:`ConditionalTable`: a row-stochastic
 matrix ``Pr*[X | Π]`` indexed by the mixed-radix flattening of the parent
 values (parents sorted by name, as in :class:`~repro.bn.network.APPair`).
+
+Batched materialization
+-----------------------
+The contingency counts behind every ``Pr[Π, X]`` are pure data statistics;
+only the Laplace perturbation consumes randomness or budget.  A
+:class:`JointCounter` therefore materializes all of a network's joints in
+grouped single-pass ``np.bincount`` calls (pairs sharing a parent set share
+one pass, and the flattened parent index of each parent set is computed
+once and reused), then memoizes the integer counts per AP pair so repeated
+fits over the same table — an ε sweep, or the repeat cells of the figure
+experiments — never rescan the data.  Noise draws stay strictly per-pair in
+network order, so seeded outputs are bit-identical to the historical
+per-pair path (pinned by the golden-fingerprint regression tests).
 """
 
 from __future__ import annotations
@@ -18,14 +31,15 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.bn.network import APPair, BayesianNetwork
-from repro.bn.quality import generalized_codes
-from repro.data.attribute import Attribute
+from repro.bn.quality import ParentIndexCache, generalized_codes
 from repro.data.marginals import (
     conditional_from_joint,
     domain_size,
+    ensure_int64_domain,
     flatten_index,
     normalize_distribution,
     project_distribution,
+    stacked_joint_counts,
 )
 from repro.data.table import Table
 from repro.dp.accountant import PrivacyAccountant
@@ -59,6 +73,41 @@ class ConditionalTable:
                 f"{self.matrix.shape} != expected {expected}"
             )
 
+    @property
+    def row_cdfs(self) -> np.ndarray:
+        """Per-row CDFs of ``matrix``, computed once and cached.
+
+        Ancestral sampling inverts each row's CDF per draw batch; caching
+        here makes repeated ``model.sample()`` / ``fit_sample(n=...)``
+        calls on one fitted model stop recomputing ``np.cumsum`` per call.
+        The values are exactly ``np.cumsum(matrix, axis=1)`` with the last
+        column clamped to 1.0 (guarding rounding drift), so cached and
+        fresh computations are bit-identical.  The array is read-only.
+        """
+        cached = getattr(self, "_row_cdfs", None)
+        if cached is None:
+            cached = np.cumsum(self.matrix, axis=1)
+            cached[:, -1] = 1.0
+            cached.setflags(write=False)
+            object.__setattr__(self, "_row_cdfs", cached)
+        return cached
+
+    @property
+    def binary_thresholds(self) -> np.ndarray:
+        """First CDF column as a contiguous vector (binary children only).
+
+        For a binary child the whole CDF inversion reduces to one
+        comparison against this column (the last column is exactly 1.0 and
+        uniforms lie in ``[0, 1)``); a contiguous copy makes the per-draw
+        gather cheap.  Values are exactly ``row_cdfs[:, 0]``.
+        """
+        cached = getattr(self, "_binary_thresholds", None)
+        if cached is None:
+            cached = np.ascontiguousarray(self.row_cdfs[:, 0])
+            cached.setflags(write=False)
+            object.__setattr__(self, "_binary_thresholds", cached)
+        return cached
+
 
 @dataclass(frozen=True)
 class NoisyModel:
@@ -83,6 +132,86 @@ class NoisyModel:
             raise KeyError(f"no conditional for {child!r}") from None
 
 
+class JointCounter:
+    """Batched, memoized contingency counts for AP-pair joints.
+
+    All state is derived deterministically from the table: the flattened
+    parent configuration of each parent set (a
+    :class:`~repro.bn.quality.ParentIndexCache`, shareable with the
+    candidate scorer so parent sets selected during structure search are
+    never re-flattened here) and the integer counts of each
+    ``(child, parents)`` joint.  Counting consumes no randomness and
+    spends no budget, so one counter may be shared across many fits over
+    the same table (e.g. via :class:`~repro.core.scoring.ScoringCache`)
+    without perturbing any seeded output.  Cached count arrays are
+    read-only; consumers copy on conversion to probabilities.
+    """
+
+    def __init__(
+        self, table: Table, parent_index: Optional[ParentIndexCache] = None
+    ) -> None:
+        if parent_index is not None and parent_index.table is not table:
+            raise ValueError("parent_index was built for a different table")
+        self.table = table
+        self._parent_index = (
+            parent_index if parent_index is not None else ParentIndexCache(table)
+        )
+        self._counts: Dict[Tuple, Tuple[np.ndarray, Tuple[int, ...]]] = {}
+
+    def _pair_key(self, pair: APPair) -> Tuple:
+        return (pair.child, pair.parents)
+
+    def warm(self, pairs: Sequence[APPair]) -> None:
+        """Materialize the counts of every listed pair in grouped passes.
+
+        Pairs sharing a parent set are counted in one offset-shifted
+        ``np.bincount`` over the shared flattened parent index (see
+        :func:`repro.data.marginals.stacked_joint_counts`); the resulting
+        integer segments are identical to per-pair bincounts.
+        """
+        groups: Dict[Tuple, Dict[str, None]] = {}
+        for pair in pairs:
+            if self._pair_key(pair) not in self._counts:
+                # Dict-as-ordered-set: dedupe children per parent set while
+                # preserving first-seen order.
+                groups.setdefault(pair.parents, {})[pair.child] = None
+        for parents, children in groups.items():
+            self._count_group(parents, list(children))
+
+    def _count_group(
+        self, parents: Tuple[Tuple[str, int], ...], children: Sequence[str]
+    ) -> None:
+        parent_flat, parent_sizes = self._parent_index.flat(parents)
+        parent_dom = domain_size(parent_sizes)
+        child_sizes = [self.table.attribute(c).size for c in children]
+        for child, child_size in zip(children, child_sizes):
+            ensure_int64_domain(
+                parent_dom * child_size, f"joint domain of (Π, {child!r})"
+            )
+        block, offsets, lengths = stacked_joint_counts(
+            parent_flat,
+            parent_dom,
+            [self.table.column(c) for c in children],
+            child_sizes,
+        )
+        for child, child_size, offset, length in zip(
+            children, child_sizes, offsets, lengths
+        ):
+            counts = np.ascontiguousarray(block[offset : offset + length])
+            counts.setflags(write=False)
+            self._counts[(child, parents)] = (
+                counts,
+                parent_sizes + (child_size,),
+            )
+
+    def counts(self, pair: APPair) -> Tuple[np.ndarray, Tuple[int, ...]]:
+        """Integer counts of ``Pr[Π, X]`` (child innermost) and the sizes."""
+        key = self._pair_key(pair)
+        if key not in self._counts:
+            self._count_group(pair.parents, [pair.child])
+        return self._counts[key]
+
+
 def _pair_layout(
     table: Table, pair: APPair
 ) -> Tuple[List[np.ndarray], List[int]]:
@@ -103,6 +232,7 @@ def _noisy_joint(
     pair: APPair,
     epsilon_share: Optional[float],
     rng: np.random.Generator,
+    counter: Optional[JointCounter] = None,
 ) -> Tuple[np.ndarray, List[int]]:
     """Materialize ``Pr[Π, X]``, perturb, clamp, normalize (Alg 1/3 lines 3-5).
 
@@ -110,11 +240,21 @@ def _noisy_joint(
     Algorithm 1, ``ε₂/d`` in Algorithm 3), so the Laplace scale is the
     paper's ``2(d-k)/(n·ε₂)`` resp. ``2d/(n·ε₂)``.  ``None`` skips the
     noise entirely — the non-private BestMarginal diagnostic of Figure 11.
+
+    With a ``counter``, the integer counts come from its (batched, memoized)
+    cache; they are the exact integers the direct scan produces, so the
+    derived floats — and every downstream noise draw — are bit-identical.
     """
-    columns, sizes = _pair_layout(table, pair)
-    total = domain_size(sizes)
-    flat = flatten_index(np.stack(columns, axis=1), sizes)
-    counts = np.bincount(flat, minlength=total).astype(float)
+    if counter is not None:
+        raw, sizes = counter.counts(pair)
+        counts = raw.astype(float)
+        sizes = list(sizes)
+        total = counts.size
+    else:
+        columns, sizes = _pair_layout(table, pair)
+        total = domain_size(sizes)
+        flat = flatten_index(np.stack(columns, axis=1), sizes)
+        counts = np.bincount(flat, minlength=total).astype(float)
     joint = counts / table.n if table.n else np.full(total, 1.0 / total)
     if epsilon_share is None:
         return normalize_distribution(joint), sizes
@@ -146,21 +286,34 @@ def noisy_conditionals_general(
     epsilon2: Optional[float],
     rng: np.random.Generator,
     accountant: Optional[PrivacyAccountant] = None,
+    counter: Optional[JointCounter] = None,
+    batched: bool = True,
 ) -> NoisyModel:
     """Algorithm 3: one noisy joint per AP pair, ε₂ split over all ``d``.
 
     ``epsilon2 = None`` releases exact conditionals (non-private; the
-    BestMarginal diagnostic of Figure 11).
+    BestMarginal diagnostic of Figure 11).  ``counter`` reuses a shared
+    :class:`JointCounter` (e.g. across the fits of a sweep); without one,
+    ``batched=True`` (the default) builds a fresh counter so the network's
+    joints are still materialized in grouped single-pass bincounts.
+    ``batched=False`` with no counter keeps the historical per-pair scan —
+    the naive reference for the distribution-learning benchmark.
     """
     if epsilon2 is not None and epsilon2 <= 0:
         raise ValueError("epsilon2 must be positive")
+    if counter is None and batched:
+        counter = JointCounter(table)
+    if counter is not None:
+        if counter.table is not table:
+            raise ValueError("counter was built for a different table")
+        counter.warm(list(network.pairs))
     d = network.d
     share = None if epsilon2 is None else epsilon2 / d
     conditionals: List[ConditionalTable] = []
     for pair in network:
         if accountant is not None and share is not None:
             accountant.charge(f"marginal[{pair.child}]", share)
-        joint, sizes = _noisy_joint(table, pair, share, rng)
+        joint, sizes = _noisy_joint(table, pair, share, rng, counter)
         conditionals.append(_conditional_from(pair, joint, sizes))
     return NoisyModel(network=network, conditionals=tuple(conditionals))
 
@@ -172,6 +325,8 @@ def noisy_conditionals_fixed_k(
     epsilon2: Optional[float],
     rng: np.random.Generator,
     accountant: Optional[PrivacyAccountant] = None,
+    counter: Optional[JointCounter] = None,
+    batched: bool = True,
 ) -> NoisyModel:
     """Algorithm 1: materialize ``d - k`` joints; derive the first ``k``
     conditionals from the ``(k+1)``-th noisy joint at zero privacy cost.
@@ -182,14 +337,22 @@ def noisy_conditionals_fixed_k(
     (that costs budget, so callers built via Algorithm 2 never hit it).
 
     ``epsilon2 = None`` releases exact conditionals (non-private; the
-    BestMarginal diagnostic of Figure 11).
+    BestMarginal diagnostic of Figure 11).  ``counter`` / ``batched`` work
+    as in :func:`noisy_conditionals_general`; only the ``d - k``
+    materialized pairs are pre-counted (fallback pairs count on demand).
     """
     if epsilon2 is not None and epsilon2 <= 0:
         raise ValueError("epsilon2 must be positive")
     d = network.d
     if not 0 <= k < max(d, 1):
         raise ValueError(f"k={k} out of range for d={d}")
+    if counter is None and batched:
+        counter = JointCounter(table)
     pairs = list(network.pairs)
+    if counter is not None:
+        if counter.table is not table:
+            raise ValueError("counter was built for a different table")
+        counter.warm(pairs[k:])
     share = None if epsilon2 is None else epsilon2 / max(d - k, 1)
     conditionals: Dict[str, ConditionalTable] = {}
     anchor_joint: Optional[np.ndarray] = None
@@ -199,7 +362,7 @@ def noisy_conditionals_fixed_k(
         pair = pairs[i]
         if accountant is not None and share is not None:
             accountant.charge(f"marginal[{pair.child}]", share)
-        joint, sizes = _noisy_joint(table, pair, share, rng)
+        joint, sizes = _noisy_joint(table, pair, share, rng, counter)
         conditionals[pair.child] = _conditional_from(pair, joint, sizes)
         if i == k:
             anchor_joint, anchor_sizes = joint, sizes
@@ -213,7 +376,7 @@ def noisy_conditionals_fixed_k(
             # Structural guarantee missing: materialize directly (charged).
             if accountant is not None and share is not None:
                 accountant.charge(f"marginal[{pair.child}] (fallback)", share)
-            joint, sizes = _noisy_joint(table, pair, share, rng)
+            joint, sizes = _noisy_joint(table, pair, share, rng, counter)
             derived = _conditional_from(pair, joint, sizes)
         conditionals[pair.child] = derived
     ordered = tuple(conditionals[pair.child] for pair in pairs)

@@ -1,4 +1,4 @@
-"""Maximal parent-set enumeration (Algorithms 5 and 6).
+"""Maximal parent-set enumeration (Algorithms 5 and 6), with memoization.
 
 Given the set ``V`` of already-placed attributes and a domain-size budget
 ``τ`` (from θ-usefulness), a *maximal parent set* is a subset of ``V``
@@ -9,61 +9,109 @@ generalized level — without busting the budget.
 Parent sets are represented as frozensets of ``(attribute_name, level)``
 pairs; level 0 is the raw attribute.  Algorithm 5 is the level-free special
 case of Algorithm 6.
+
+Memoization
+-----------
+Both recursions peel the head attribute and recurse on the tail, so every
+subproblem is identified by ``(attribute tail, τ)``.  The results are pure
+functions of those inputs, and the computed *set* of maximal parent sets is
+independent of the attribute ordering (the returned list is canonically
+sorted), so results can be cached and shared:
+
+* within one call, repeated ``(tail, τ)`` subproblems — common when domain
+  sizes repeat, e.g. all-binary tables where ``τ/2/2`` meets ``τ/4`` — are
+  computed once instead of exponentially many times;
+* across calls, a :class:`ParentSetCache` carries the memo between greedy
+  rounds.  :func:`repro.core.greedy_bayes.greedy_bayes_theta` passes the
+  placed attributes newest-first, so each round's tail subproblems are
+  exactly the previous round's full problems and hit the cache directly.
+
+Cache keys include each attribute's (level) domain sizes, so a cache is
+safe to share across tables; τ is keyed by exact float value (equal floats
+behave identically throughout the recursion, so hits are always exact).
 """
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, List, Sequence, Set, Tuple
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
 from repro.data.attribute import Attribute
 
 ParentSet = FrozenSet[Tuple[str, int]]
 
+#: Memo table: (attribute-signature tuple, τ) -> sorted tuple of parent sets.
+_Memo = Dict[Tuple[Tuple, float], Tuple[ParentSet, ...]]
 
-def _level_sizes(attr: Attribute) -> List[int]:
+
+def _level_sizes(attr: Attribute) -> Tuple[int, ...]:
     """Domain size of ``attr`` at every generalization level."""
     if attr.taxonomy is None:
-        return [attr.size]
-    return [attr.taxonomy.level_size(level) for level in range(attr.taxonomy.height)]
+        return (attr.size,)
+    return tuple(
+        attr.taxonomy.level_size(level) for level in range(attr.taxonomy.height)
+    )
 
 
-def maximal_parent_sets(
-    attributes: Sequence[Attribute], tau: float
-) -> List[ParentSet]:
-    """Algorithm 5: all maximal subsets of ``attributes`` with joint domain
-    size at most ``tau`` (no generalization).
+class ParentSetCache:
+    """Reusable memo passed to :func:`maximal_parent_sets` and its
+    generalized variant via their ``cache`` parameter.
 
-    Returns frozensets of ``(name, 0)`` pairs.  ``τ < 1`` admits nothing;
-    an empty ``attributes`` admits only the empty set.
+    One cache instance may serve many calls — and many tables: keys carry
+    the attribute names *and* their per-level domain sizes, so distinct
+    schemas never collide.  Entries are immutable tuples of frozensets;
+    callers must not mutate the returned lists' elements.
     """
+
+    def __init__(self) -> None:
+        self._plain: _Memo = {}
+        self._generalized: _Memo = {}
+
+
+def _plain_key(attributes: Tuple[Attribute, ...], tau: float):
+    return (tuple((a.name, a.size) for a in attributes), tau)
+
+
+def _generalized_key(attributes: Tuple[Attribute, ...], tau: float):
+    return (tuple((a.name, _level_sizes(a)) for a in attributes), tau)
+
+
+def _maximal_plain(
+    attributes: Tuple[Attribute, ...], tau: float, memo: _Memo
+) -> Tuple[ParentSet, ...]:
+    """Algorithm 5 recursion with subproblem memoization."""
     if tau < 1.0:
-        return []
+        return ()
     if not attributes:
-        return [frozenset()]
-    head, rest = attributes[0], list(attributes[1:])
+        return (frozenset(),)
+    key = _plain_key(attributes, tau)
+    hit = memo.get(key)
+    if hit is not None:
+        return hit
+    head, rest = attributes[0], attributes[1:]
     # Maximal subsets that omit `head`.
-    result: Set[ParentSet] = set(maximal_parent_sets(rest, tau))
+    result: Set[ParentSet] = set(_maximal_plain(rest, tau, memo))
     # Maximal subsets that include `head`: recurse with the tightened budget.
-    for subset in maximal_parent_sets(rest, tau / head.size):
+    for subset in _maximal_plain(rest, tau / head.size, memo):
         result.discard(subset)  # subset ⊂ subset ∪ {head}: no longer maximal
         result.add(subset | {(head.name, 0)})
-    return sorted(result, key=_canonical_key)
+    out = tuple(sorted(result, key=_canonical_key))
+    memo[key] = out
+    return out
 
 
-def maximal_parent_sets_generalized(
-    attributes: Sequence[Attribute], tau: float
-) -> List[ParentSet]:
-    """Algorithm 6: maximal generalized parent sets.
-
-    Each attribute may participate at any taxonomy level; a set is maximal
-    when no attribute can be added and no member refined to a lower
-    (more specific) level while keeping the joint domain within ``τ``.
-    """
+def _maximal_generalized(
+    attributes: Tuple[Attribute, ...], tau: float, memo: _Memo
+) -> Tuple[ParentSet, ...]:
+    """Algorithm 6 recursion with subproblem memoization."""
     if tau < 1.0:
-        return []
+        return ()
     if not attributes:
-        return [frozenset()]
-    head, rest = attributes[0], list(attributes[1:])
+        return (frozenset(),)
+    key = _generalized_key(attributes, tau)
+    hit = memo.get(key)
+    if hit is not None:
+        return hit
+    head, rest = attributes[0], attributes[1:]
     sizes = _level_sizes(head)
     result: Set[ParentSet] = set()
     used: Set[ParentSet] = set()
@@ -71,16 +119,51 @@ def maximal_parent_sets_generalized(
     # given remainder-set Z wins, so Z is combined with the most specific
     # usable version of `head` (lines 5-8 of Algorithm 6).
     for level, size in enumerate(sizes):
-        for subset in maximal_parent_sets_generalized(rest, tau / size):
+        for subset in _maximal_generalized(rest, tau / size, memo):
             if subset in used:
                 continue
             used.add(subset)
             result.add(subset | {(head.name, level)})
     # Remainder sets that cannot host `head` at any level (lines 9-11).
-    for subset in maximal_parent_sets_generalized(rest, tau):
+    for subset in _maximal_generalized(rest, tau, memo):
         if subset not in used:
             result.add(subset)
-    return sorted(result, key=_canonical_key)
+    out = tuple(sorted(result, key=_canonical_key))
+    memo[key] = out
+    return out
+
+
+def maximal_parent_sets(
+    attributes: Sequence[Attribute],
+    tau: float,
+    cache: Optional[ParentSetCache] = None,
+) -> List[ParentSet]:
+    """Algorithm 5: all maximal subsets of ``attributes`` with joint domain
+    size at most ``tau`` (no generalization).
+
+    Returns frozensets of ``(name, 0)`` pairs.  ``τ < 1`` admits nothing;
+    an empty ``attributes`` admits only the empty set.  ``cache`` carries
+    the subproblem memo across calls (see :class:`ParentSetCache`); without
+    one, a fresh memo still dedupes repeated subproblems within the call.
+    """
+    memo: _Memo = cache._plain if cache is not None else {}
+    return list(_maximal_plain(tuple(attributes), float(tau), memo))
+
+
+def maximal_parent_sets_generalized(
+    attributes: Sequence[Attribute],
+    tau: float,
+    cache: Optional[ParentSetCache] = None,
+) -> List[ParentSet]:
+    """Algorithm 6: maximal generalized parent sets.
+
+    Each attribute may participate at any taxonomy level; a set is maximal
+    when no attribute can be added and no member refined to a lower
+    (more specific) level while keeping the joint domain within ``τ``.
+    ``cache`` works as in :func:`maximal_parent_sets`.
+    """
+    memo: _Memo = cache._generalized if cache is not None else {}
+    return list(_maximal_generalized(tuple(attributes), float(tau), memo))
 
 
 def parent_set_domain_size(

@@ -161,8 +161,9 @@ class PrivBayes:
 
         ``scoring_cache`` is an optional
         :class:`~repro.core.scoring.ScoringCache`; pass one when fitting
-        many models over the same table (an ε sweep) so candidate scores —
-        deterministic data statistics — are computed once across all fits.
+        many models over the same table (an ε sweep) so candidate scores,
+        parent-set enumerations and contingency counts — deterministic
+        data statistics — are computed once across all fits.
         """
         if rng is None:
             rng = np.random.default_rng()
@@ -190,13 +191,20 @@ class PrivBayes:
             if scoring_cache is not None
             else None
         )
+        counter = (
+            scoring_cache.joint_counter(table)
+            if scoring_cache is not None
+            else None
+        )
         if mode == "binary":
             model, k = self._fit_binary(
-                table, score, epsilon1, epsilon2, accountant, rng, scorer
+                table, score, epsilon1, epsilon2, accountant, rng, scorer,
+                counter,
             )
         else:
             model = self._fit_general(
-                table, score, epsilon1, epsilon2, accountant, rng, scorer
+                table, score, epsilon1, epsilon2, accountant, rng, scorer,
+                counter,
             )
             k = None
         return PrivBayesModel(
@@ -222,7 +230,8 @@ class PrivBayes:
 
     # ------------------------------------------------------------------
     def _fit_binary(
-        self, table, score, epsilon1, epsilon2, accountant, rng, scorer=None
+        self, table, score, epsilon1, epsilon2, accountant, rng, scorer=None,
+        counter=None,
     ):
         config = self.config
         d = table.d
@@ -256,11 +265,13 @@ class PrivBayes:
             None if config.oracle_marginals else epsilon2,
             rng,
             accountant,
+            counter=counter,
         )
         return model, k
 
     def _fit_general(
-        self, table, score, epsilon1, epsilon2, accountant, rng, scorer=None
+        self, table, score, epsilon1, epsilon2, accountant, rng, scorer=None,
+        counter=None,
     ):
         config = self.config
         if score == "F":
@@ -290,4 +301,5 @@ class PrivBayes:
             None if config.oracle_marginals else epsilon2,
             rng,
             accountant,
+            counter=counter,
         )

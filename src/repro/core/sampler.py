@@ -4,7 +4,13 @@ Attributes are sampled in the network's construction order, so every parent
 is available (at raw granularity) before any child that conditions on it.
 Generalized parents are handled by mapping the already-sampled raw codes
 through the attribute's taxonomy before indexing the conditional table.
-Sampling is vectorized: all ``n`` tuples draw each attribute in one shot.
+Sampling is vectorized: all ``n`` tuples draw each attribute in one shot,
+inverting each conditional's row CDFs — which are computed once per fitted
+model and cached on the :class:`~repro.core.noisy_conditionals.ConditionalTable`
+(see its ``row_cdfs``), so repeated ``model.sample()`` calls never redo the
+``np.cumsum``.  Binary children take a single-comparison fast path that
+draws the same uniforms and returns the same codes as the general CDF
+inversion.
 """
 
 from __future__ import annotations
@@ -15,7 +21,6 @@ import numpy as np
 
 from repro.core.noisy_conditionals import ConditionalTable, NoisyModel
 from repro.data.attribute import Attribute
-from repro.data.marginals import flatten_index
 from repro.data.table import Table
 
 
@@ -24,11 +29,18 @@ def _sample_rows(
     parent_rows: np.ndarray,
     rng: np.random.Generator,
 ) -> np.ndarray:
-    """Draw one child value per tuple from the conditional's row CDFs."""
-    matrix = conditional.matrix
-    cdf = np.cumsum(matrix, axis=1)
-    cdf[:, -1] = 1.0  # guard against rounding drift in the last column
+    """Draw one child value per tuple from the conditional's row CDFs.
+
+    The general path counts, per tuple, how many CDF entries the uniform
+    strictly exceeds.  For binary children only the first CDF column can be
+    exceeded (uniforms lie in ``[0, 1)`` and the last column is exactly
+    1.0), so one gather + one comparison yields the identical codes.
+    """
     uniforms = rng.random(parent_rows.shape[0])
+    if conditional.child_size == 2:
+        thresholds = conditional.binary_thresholds
+        return (uniforms > thresholds[parent_rows]).astype(np.int64)
+    cdf = conditional.row_cdfs
     return (uniforms[:, None] > cdf[parent_rows]).sum(axis=1).astype(np.int64)
 
 
@@ -43,7 +55,10 @@ def sample_synthetic(
     Parameters
     ----------
     model:
-        Output of the distribution-learning phase.
+        Output of the distribution-learning phase.  Its network must place
+        every attribute of ``attributes`` (and no attribute outside them);
+        a mismatched schema raises :class:`ValueError` up front, naming
+        the offending attributes.
     attributes:
         The schema of the original table (synthetic tuples use the same
         attributes, in the same order — the released dataset "obeys the
@@ -56,6 +71,20 @@ def sample_synthetic(
     if n < 0:
         raise ValueError("n must be non-negative")
     by_name: Dict[str, Attribute] = {a.name: a for a in attributes}
+    placed = {pair.child for pair in model.network}
+    missing = [a.name for a in attributes if a.name not in placed]
+    if missing:
+        raise ValueError(
+            "model's network does not place schema attribute(s) "
+            f"{missing}; a truncated or custom network cannot synthesize "
+            "columns for them"
+        )
+    unknown = sorted(placed - set(by_name))
+    if unknown:
+        raise ValueError(
+            f"model's network places attribute(s) {unknown} that are not "
+            "in the requested schema"
+        )
     sampled: Dict[str, np.ndarray] = {}
     for pair in model.network:
         conditional = model.conditional_for(pair.child)
@@ -66,12 +95,22 @@ def sample_synthetic(
                 if level != 0:
                     codes = by_name[name].generalization_map(level)[codes]
                 parent_codes.append(codes)
-            rows = flatten_index(
-                np.stack(parent_codes, axis=1), conditional.parent_sizes
-            )
+            # Mixed-radix accumulation, same integer arithmetic as
+            # data.marginals.flatten_index without its stack/validation
+            # overhead per draw batch: the conditional's matrix shape
+            # already proves the parent domain fits int64 indexing.
+            rows = parent_codes[0]
+            for codes, size in zip(
+                parent_codes[1:], conditional.parent_sizes[1:]
+            ):
+                rows = rows * int(size) + codes
         else:
             rows = np.zeros(n, dtype=np.int64)
         sampled[pair.child] = _sample_rows(conditional, rows, rng)
-    columns = {name: sampled[name] for name in by_name}
     ordered_attrs = [by_name[a.name] for a in attributes]
-    return Table(ordered_attrs, {a.name: columns[a.name] for a in ordered_attrs})
+    # Codes are in [0, attr.size) by construction (each draw inverts a
+    # conditional with exactly attr.size columns), so skip the validating
+    # constructor's per-column scans.
+    return Table.from_trusted_columns(
+        ordered_attrs, {a.name: sampled[a.name] for a in ordered_attrs}
+    )

@@ -26,10 +26,17 @@ All caches are keyed on *values derived deterministically from the table*:
 * ``MutualInformationCache`` memoizes empirical mutual information per
   ``(child, parents)`` for the non-private reference searches
   (:mod:`repro.bn.structure_search`) and the Figure 4 quality metric.
-* ``ScoringCache`` keys scorers and MI caches on table identity so a sweep
-  (many releases over one table) shares them across runs.  Scores are data
-  statistics, not noisy releases — reusing them across ε values changes no
-  distribution and spends no budget.
+* Each ``CandidateScorer`` carries a
+  :class:`~repro.core.parent_sets.ParentSetCache` so the θ-mode greedy
+  loop's maximal-parent-set enumerations (Algorithms 5/6) are memoized
+  across rounds and, through a shared scorer, across the runs of a sweep.
+* ``ScoringCache`` keys scorers, MI caches and
+  :class:`~repro.core.noisy_conditionals.JointCounter` instances (the
+  distribution-learning phase's batched contingency counts) on table
+  identity so a sweep (many releases over one table) shares them across
+  runs.  Scores and counts are data statistics, not noisy releases —
+  reusing them across ε values changes no distribution and spends no
+  budget.
 
 Caches hold no RNG state and are safe to share across runs on the same
 table object; they must not be reused after the table's columns are
@@ -42,7 +49,7 @@ from typing import Dict, Sequence, Tuple
 
 import numpy as np
 
-from repro.core.parent_sets import parent_set_domain_size
+from repro.core.parent_sets import ParentSetCache, parent_set_domain_size
 from repro.core.scores import (
     score_F,
     score_I,
@@ -51,7 +58,11 @@ from repro.core.scores import (
     sensitivity_I,
     sensitivity_R,
 )
-from repro.data.marginals import domain_size, ensure_int64_domain, flatten_index
+from repro.data.marginals import (
+    domain_size,
+    ensure_int64_domain,
+    stacked_joint_counts,
+)
 from repro.data.table import Table
 from repro.infotheory.measures import (
     mutual_information,
@@ -98,50 +109,49 @@ class CandidateScorer:
         benchmark; production callers never need it.
     """
 
-    def __init__(self, table: Table, score: str, incremental: bool = True) -> None:
+    def __init__(
+        self,
+        table: Table,
+        score: str,
+        incremental: bool = True,
+        parent_index=None,
+    ) -> None:
         if score not in ("I", "F", "R"):
             raise ValueError(f"unknown score function {score!r}")
+        # Imported lazily: bn.quality sits above this module in the
+        # package import order (bn.structure_search imports scoring).
+        from repro.bn.quality import ParentIndexCache
+
+        if parent_index is not None and parent_index.table is not table:
+            raise ValueError("parent_index was built for a different table")
         self.table = table
         self.score = score
         self.incremental = incremental
         self._f_masks: Dict[int, Tuple[np.ndarray, np.ndarray]] = {}
-        self._generalized: Dict[Tuple[str, int], Tuple[np.ndarray, int]] = {}
-        self._parent_flat: Dict[Tuple, Tuple[np.ndarray, int]] = {}
+        #: Per-row flattened parent configurations; shareable with the
+        #: distribution learner's JointCounter (via ScoringCache) so parent
+        #: sets selected during structure search are never re-flattened.
+        self._parent_index_cache = (
+            parent_index if parent_index is not None else ParentIndexCache(table)
+        )
         self._score_memo: Dict[Candidate, float] = {}
         self._sensitivity_memo: Dict[Candidate, float] = {}
         self._parent_domain: Dict[Tuple, int] = {}
         self._attrs_by_name = {a.name: a for a in table.attributes}
+        #: Memo for maximal-parent-set enumeration (Algorithms 5/6); the
+        #: greedy θ-mode loop shares it across rounds, and a scorer reused
+        #: via ScoringCache shares it across the runs of a sweep.
+        self.parent_sets = ParentSetCache()
 
     # ------------------------------------------------------------------
-    # Shared column / parent-index caches
+    # Shared parent-index cache
     # ------------------------------------------------------------------
-    def _codes(self, name: str, level: int) -> Tuple[np.ndarray, int]:
-        key = (name, level)
-        if key not in self._generalized:
-            # Imported lazily: bn.quality sits above this module in the
-            # package import order (bn.structure_search imports scoring).
-            from repro.bn.quality import generalized_codes
-
-            self._generalized[key] = generalized_codes(self.table, name, level)
-        return self._generalized[key]
-
     def _parent_index(
         self, parents: Tuple[Tuple[str, int], ...]
     ) -> Tuple[np.ndarray, int]:
         """Flattened parent configuration per row, plus the parent domain."""
-        if parents not in self._parent_flat:
-            columns = []
-            sizes = []
-            for name, level in parents:
-                codes, size = self._codes(name, level)
-                columns.append(codes)
-                sizes.append(size)
-            if columns:
-                flat = flatten_index(np.stack(columns, axis=1), sizes)
-            else:
-                flat = np.zeros(self.table.n, dtype=np.int64)
-            self._parent_flat[parents] = (flat, domain_size(sizes))
-        return self._parent_flat[parents]
+        flat, sizes = self._parent_index_cache.flat(parents)
+        return flat, domain_size(sizes)
 
     def counts(
         self, child: str, parents: Tuple[Tuple[str, int], ...]
@@ -248,18 +258,12 @@ class CandidateScorer:
                         f"score 'F' requires a binary child; {child!r} has "
                         f"{child_size} values"
                     )
-        lengths = [parent_dom * s for s in sizes]
-        offsets = [0]
-        for length in lengths[:-1]:
-            offsets.append(offsets[-1] + length)
-        total = ensure_int64_domain(
-            sum(lengths), "batched candidate contingency block"
+        block, offsets, lengths = stacked_joint_counts(
+            parent_flat,
+            parent_dom,
+            [self.table.column(c) for c in children],
+            sizes,
         )
-        columns = np.stack([self.table.column(c) for c in children])
-        sizes_col = np.asarray(sizes, dtype=np.int64)[:, None]
-        offsets_col = np.asarray(offsets, dtype=np.int64)[:, None]
-        flat = offsets_col + parent_flat[None, :] * sizes_col + columns
-        block = np.bincount(flat.ravel(), minlength=total)
         if self.score == "F" and parent_dom <= _F_ENUM_MAX_CELLS:
             scores = self._score_F_group(block, parent_dom, len(children))
             for child, value in zip(children, scores):
@@ -380,32 +384,99 @@ class MutualInformationCache:
         return self._pair_mi[key]
 
 
-class ScoringCache:
-    """Per-table registry of scorers and MI caches, reused across runs.
+#: Distinct tables a ScoringCache pins before evicting the oldest (FIFO).
+#: A sweep touches one or two tables; callers that churn through fresh
+#: tables (e.g. repeated multitable releases, each truncating anew) would
+#: otherwise grow the registry — and every cached count block it pins —
+#: without bound and without any cache hits to show for it.
+_MAX_CACHED_TABLES = 8
 
-    An ε sweep fits many models over the *same* table; candidate scores and
-    mutual information are deterministic data statistics, so sharing their
-    caches across fits changes no output and spends no privacy budget.
-    Tables are keyed by object identity (and kept alive by the registry so
-    an id() can never be recycled onto a different table).
+
+class ScoringCache:
+    """Per-table registry of scorers and derived-statistic caches.
+
+    An ε sweep fits many models over the *same* table; candidate scores,
+    mutual information, parent-set enumerations, flattened parent indexes
+    and contingency counts are deterministic data statistics, so sharing
+    their caches across fits changes no output and spends no privacy
+    budget.  Tables are keyed by object identity (and kept alive by the
+    registry so an id() can never be recycled onto a different table); the
+    registry is bounded to ``_MAX_CACHED_TABLES`` distinct tables, evicting
+    whole-table entries oldest-first.  Evicted consumers keep working off
+    their own references — only future lookups rebuild.
     """
 
     def __init__(self) -> None:
-        self._scorers: Dict[Tuple[int, str], Tuple[Table, CandidateScorer]] = {}
-        self._mi_caches: Dict[int, Tuple[Table, MutualInformationCache]] = {}
+        #: Insertion-ordered registry of live tables (id -> table).
+        self._tables: Dict[int, Table] = {}
+        self._scorers: Dict[Tuple[int, str], CandidateScorer] = {}
+        self._mi_caches: Dict[int, MutualInformationCache] = {}
+        self._joint_counters: Dict[int, object] = {}
+        self._parent_indexes: Dict[int, object] = {}
+
+    def _register(self, table: Table) -> int:
+        """Pin ``table``, evicting the oldest table past the bound."""
+        key = id(table)
+        held = self._tables.get(key)
+        if held is not table:
+            if held is not None:
+                # id() was recycled onto a new table: drop the stale entries.
+                self._evict(key)
+            self._tables[key] = table
+            while len(self._tables) > _MAX_CACHED_TABLES:
+                self._evict(next(iter(self._tables)))
+        return key
+
+    def _evict(self, key: int) -> None:
+        self._tables.pop(key, None)
+        self._mi_caches.pop(key, None)
+        self._joint_counters.pop(key, None)
+        self._parent_indexes.pop(key, None)
+        for scorer_key in [k for k in self._scorers if k[0] == key]:
+            del self._scorers[scorer_key]
+
+    def parent_index(self, table: Table):
+        """Shared :class:`~repro.bn.quality.ParentIndexCache` for ``table``.
+
+        Handed to both the table's scorers and its joint counter, so a
+        parent set flattened during structure search is reused verbatim by
+        distribution learning.
+        """
+        from repro.bn.quality import ParentIndexCache
+
+        key = self._register(table)
+        if key not in self._parent_indexes:
+            self._parent_indexes[key] = ParentIndexCache(table)
+        return self._parent_indexes[key]
 
     def scorer(self, table: Table, score: str) -> CandidateScorer:
-        key = (id(table), score)
-        entry = self._scorers.get(key)
-        if entry is None or entry[0] is not table:
-            entry = (table, CandidateScorer(table, score))
-            self._scorers[key] = entry
-        return entry[1]
+        key = (self._register(table), score)
+        if key not in self._scorers:
+            self._scorers[key] = CandidateScorer(
+                table, score, parent_index=self.parent_index(table)
+            )
+        return self._scorers[key]
 
     def mi_cache(self, table: Table) -> MutualInformationCache:
-        key = id(table)
-        entry = self._mi_caches.get(key)
-        if entry is None or entry[0] is not table:
-            entry = (table, MutualInformationCache(table))
-            self._mi_caches[key] = entry
-        return entry[1]
+        key = self._register(table)
+        if key not in self._mi_caches:
+            self._mi_caches[key] = MutualInformationCache(table)
+        return self._mi_caches[key]
+
+    def joint_counter(self, table: Table):
+        """Shared :class:`~repro.core.noisy_conditionals.JointCounter`.
+
+        Contingency counts are data statistics like scores and MI, so the
+        fits of a sweep share one counter per table: each AP-pair joint is
+        scanned from the data at most once across all releases.
+        """
+        # Imported lazily: noisy_conditionals sits above this module in the
+        # package import order (it pulls in bn.quality, which feeds scoring).
+        from repro.core.noisy_conditionals import JointCounter
+
+        key = self._register(table)
+        if key not in self._joint_counters:
+            self._joint_counters[key] = JointCounter(
+                table, parent_index=self.parent_index(table)
+            )
+        return self._joint_counters[key]

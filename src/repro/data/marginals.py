@@ -81,6 +81,40 @@ def unflatten_index(flat: np.ndarray, sizes: Sequence[int]) -> np.ndarray:
     return out
 
 
+def stacked_joint_counts(
+    parent_flat: np.ndarray,
+    parent_dom: int,
+    child_columns: Sequence[np.ndarray],
+    child_sizes: Sequence[int],
+) -> Tuple[np.ndarray, Tuple[int, ...], Tuple[int, ...]]:
+    """Contingency counts of several joints ``Pr[Π, X_j]`` sharing one
+    flattened parent configuration, in a single ``np.bincount`` pass.
+
+    ``parent_flat`` is the mixed-radix parent index of every row (from
+    :func:`flatten_index` over the parent columns) and ``parent_dom`` its
+    domain size; each child ``j`` contributes its raw codes and domain
+    size.  Returns ``(block, offsets, lengths)`` where
+    ``block[offsets[j] : offsets[j] + lengths[j]]`` holds the int64 counts
+    of joint ``j`` (child innermost) — the exact integers ``d`` separate
+    per-joint bincounts would produce, so any float derived downstream is
+    bit-identical to the unbatched path.
+    """
+    lengths = tuple(int(parent_dom) * int(s) for s in child_sizes)
+    offsets = [0]
+    for length in lengths[:-1]:
+        offsets.append(offsets[-1] + length)
+    offsets = tuple(offsets)
+    total = ensure_int64_domain(sum(lengths), "batched joint-count block")
+    if not child_columns:
+        return np.zeros(0, dtype=np.int64), offsets, lengths
+    columns = np.stack(child_columns)
+    sizes_col = np.asarray(child_sizes, dtype=np.int64)[:, None]
+    offsets_col = np.asarray(offsets, dtype=np.int64)[:, None]
+    flat = offsets_col + parent_flat[None, :] * sizes_col + columns
+    block = np.bincount(flat.ravel(), minlength=total)
+    return block, offsets, lengths
+
+
 def marginal_counts(table: Table, names: Sequence[str]) -> np.ndarray:
     """Contingency counts of the named attributes as a flat vector.
 

@@ -32,6 +32,35 @@ class Table:
         attributes: Sequence[Attribute],
         columns: Mapping[str, np.ndarray],
     ) -> None:
+        self._init(attributes, columns, validate_codes=True)
+
+    @classmethod
+    def from_trusted_columns(
+        cls,
+        attributes: Sequence[Attribute],
+        columns: Mapping[str, np.ndarray],
+    ) -> "Table":
+        """Construct from columns whose codes are in-range by construction.
+
+        Library-internal producers — e.g. ancestral sampling, which draws
+        every code by inverting a conditional with exactly ``attr.size``
+        columns — cannot emit out-of-range codes, so this path skips the
+        validating constructor's O(n·d) per-column ``min``/``max`` scans
+        (a real cost when sampling repeatedly from one model).  Schema
+        consistency (names, lengths, dtype) is still enforced.  External
+        or hand-built data must go through the normal constructor.
+        """
+        table = cls.__new__(cls)
+        table._init(attributes, columns, validate_codes=False)
+        return table
+
+    def _init(
+        self,
+        attributes: Sequence[Attribute],
+        columns: Mapping[str, np.ndarray],
+        validate_codes: bool,
+    ) -> None:
+        """Shared constructor body; ``validate_codes`` gates the range scan."""
         self._attributes: Tuple[Attribute, ...] = tuple(attributes)
         names = [a.name for a in self._attributes]
         if len(set(names)) != len(names):
@@ -50,7 +79,9 @@ class Table:
                 n = col.shape[0]
             elif col.shape[0] != n:
                 raise ValueError("columns have differing lengths")
-            if col.size and (col.min() < 0 or col.max() >= attr.size):
+            if validate_codes and col.size and (
+                col.min() < 0 or col.max() >= attr.size
+            ):
                 raise ValueError(
                     f"column {attr.name!r} has codes outside [0, {attr.size})"
                 )

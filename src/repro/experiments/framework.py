@@ -8,6 +8,7 @@ dataset sizes so the whole battery runs on one machine (see DESIGN.md §3).
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -18,6 +19,19 @@ EPSILONS = (0.05, 0.1, 0.2, 0.4, 0.8, 1.6)
 
 #: A reduced grid for quick runs and benchmarks.
 FAST_EPSILONS = (0.1, 0.4, 1.6)
+
+
+def stable_series_seed(name: str) -> int:
+    """Small process-stable seed offset derived from a series/method name.
+
+    Experiments that seed one RNG stream per named baseline must not use
+    the built-in ``hash()``: string hashing is salted by ``PYTHONHASHSEED``,
+    so the derived seeds — and every noise draw behind the series — change
+    from process to process, silently dirtying benchmark-transcript diffs.
+    CRC32 is fixed by specification, so the same name yields the same seed
+    in every interpreter.
+    """
+    return zlib.crc32(name.encode("utf-8")) % 1000
 
 
 @dataclass

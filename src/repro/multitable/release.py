@@ -78,6 +78,7 @@ def release_two_tables(
     max_fanout: Optional[int] = None,
     split=DEFAULT_SPLIT,
     rng: Optional[np.random.Generator] = None,
+    scoring_cache=None,
     **privbayes_kwargs,
 ) -> TwoTableRelease:
     """Fit an ε-DP two-table model (see module docstring for the analysis).
@@ -93,6 +94,14 @@ def release_two_tables(
         bound for strict end-to-end DP.
     split:
         Budget fractions (primary, fanout, child); must sum to 1.
+    scoring_cache:
+        Optional :class:`~repro.core.scoring.ScoringCache` shared across
+        repeated releases (an ε sweep over the same linked pair): candidate
+        scores, parent-set enumerations and contingency counts of both the
+        primary and the truncated child table are data statistics, computed
+        once across all fits.  Only useful when the truncation is
+        deterministic for the caller's rng (the cache keys on table
+        identity, so a fresh truncation simply misses).
     privbayes_kwargs:
         Extra configuration forwarded to both PrivBayes pipelines
         (``beta``, ``theta``, ``score``, ...).
@@ -115,7 +124,7 @@ def release_two_tables(
     # --- primary table: plain single-table PrivBayes -------------------
     accountant.charge("primary table (PrivBayes)", eps_primary)
     primary_model = PrivBayes(epsilon=eps_primary, **privbayes_kwargs).fit(
-        truncated.primary, rng=rng
+        truncated.primary, rng=rng, scoring_cache=scoring_cache
     )
 
     # --- fanout histogram: one Laplace release --------------------------
@@ -141,7 +150,7 @@ def release_two_tables(
         raise ValueError("child table has no rows after truncation")
     child_model = PrivBayes(
         epsilon=eps_child / max_fanout, **privbayes_kwargs
-    ).fit(truncated.child, rng=rng)
+    ).fit(truncated.child, rng=rng, scoring_cache=scoring_cache)
 
     return TwoTableRelease(
         primary_model=primary_model,

@@ -29,9 +29,11 @@ class TestCounts:
     def test_parent_flat_cache_reused(self, binary_table):
         scorer = _CandidateScorer(binary_table, "I")
         scorer.counts("c", (("a", 0), ("b", 0)))
-        cached = scorer._parent_flat[(("a", 0), ("b", 0))]
+        cached = scorer._parent_index_cache._flat[(("a", 0), ("b", 0))]
         scorer.counts("d", (("a", 0), ("b", 0)))
-        assert scorer._parent_flat[(("a", 0), ("b", 0))] is cached
+        assert (
+            scorer._parent_index_cache._flat[(("a", 0), ("b", 0))] is cached
+        )
 
     def test_unknown_score_rejected(self, binary_table):
         with pytest.raises(ValueError, match="unknown score"):

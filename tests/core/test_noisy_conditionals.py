@@ -7,10 +7,11 @@ from repro.bn.network import APPair, BayesianNetwork
 from repro.core.greedy_bayes import greedy_bayes_fixed_k
 from repro.core.noisy_conditionals import (
     ConditionalTable,
+    JointCounter,
     noisy_conditionals_fixed_k,
     noisy_conditionals_general,
 )
-from repro.data.marginals import joint_distribution
+from repro.data.marginals import joint_distribution, marginal_counts
 from repro.dp.accountant import PrivacyAccountant, PrivacyBudgetError
 
 
@@ -76,6 +77,83 @@ class TestGeneral:
         network = _chain_network(list(mixed_table.attribute_names))
         with pytest.raises(ValueError):
             noisy_conditionals_general(mixed_table, network, -1.0, rng)
+
+
+class TestJointCounter:
+    def test_counts_match_direct_marginals(self, mixed_table):
+        counter = JointCounter(mixed_table)
+        names = list(mixed_table.attribute_names)
+        pair = APPair.make(names[2], [names[0], names[1]])
+        counts, sizes = counter.counts(pair)
+        expected = marginal_counts(
+            mixed_table, [name for name, _ in pair.parents] + [pair.child]
+        )
+        np.testing.assert_array_equal(counts, expected.astype(np.int64))
+        assert counts.sum() == mixed_table.n
+        assert sizes == tuple(
+            mixed_table.attribute(name).size
+            for name in [n for n, _ in pair.parents] + [pair.child]
+        )
+
+    def test_warm_groups_by_parent_set(self, mixed_table):
+        """Pairs sharing a parent set are counted in one batched pass and
+        each segment equals the per-pair scan."""
+        names = list(mixed_table.attribute_names)
+        shared = ((names[0], 0),)
+        pairs = [
+            APPair(names[1], shared),
+            APPair(names[2], shared),
+            APPair.make(names[0], []),
+        ]
+        counter = JointCounter(mixed_table)
+        counter.warm(pairs)
+        assert set(counter._counts) == {(p.child, p.parents) for p in pairs}
+        for pair in pairs:
+            counts, _ = counter.counts(pair)
+            expected = marginal_counts(
+                mixed_table, [n for n, _ in pair.parents] + [pair.child]
+            )
+            np.testing.assert_array_equal(counts, expected.astype(np.int64))
+
+    def test_counts_memoized_and_readonly(self, mixed_table):
+        counter = JointCounter(mixed_table)
+        pair = APPair.make(mixed_table.attribute_names[1], [])
+        first, _ = counter.counts(pair)
+        second, _ = counter.counts(pair)
+        assert first is second
+        with pytest.raises(ValueError):
+            first[0] = 99
+
+    def test_generalized_parents(self, mixed_table):
+        """Counts over taxonomy-generalized parents match bn.quality."""
+        from repro.bn.quality import pair_joint_distribution
+
+        pair = APPair("warm_flag", (("color", 1),))
+        counter = JointCounter(mixed_table)
+        counts, sizes = counter.counts(pair)
+        expected, _child = pair_joint_distribution(
+            mixed_table, "warm_flag", [("color", 1)]
+        )
+        np.testing.assert_allclose(counts / mixed_table.n, expected)
+        assert sizes == (2, 2)
+
+    def test_counter_for_wrong_table_rejected(self, mixed_table, binary_table, rng):
+        network = _chain_network(list(mixed_table.attribute_names))
+        with pytest.raises(ValueError, match="different table"):
+            noisy_conditionals_general(
+                mixed_table, network, 0.7, rng, counter=JointCounter(binary_table)
+            )
+
+    def test_batched_and_naive_models_identical(self, mixed_table):
+        network = _chain_network(list(mixed_table.attribute_names))
+        batched = noisy_conditionals_general(
+            mixed_table, network, 0.7, np.random.default_rng(5)
+        )
+        naive = noisy_conditionals_general(
+            mixed_table, network, 0.7, np.random.default_rng(5), batched=False
+        )
+        for a, b in zip(batched.conditionals, naive.conditionals):
+            np.testing.assert_array_equal(a.matrix, b.matrix)
 
 
 class TestFixedK:

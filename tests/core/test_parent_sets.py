@@ -8,6 +8,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core.parent_sets import (
+    ParentSetCache,
     maximal_parent_sets,
     maximal_parent_sets_generalized,
     parent_set_domain_size,
@@ -135,6 +136,102 @@ class TestAlgorithm6:
                         continue
                     refined = (parent_set - {(name, level)}) | {(name, level - 1)}
                     assert parent_set_domain_size(refined, by_name) > tau
+
+
+def _shuffle(items, order_seed):
+    shuffled = list(items)
+    np.random.default_rng(order_seed).shuffle(shuffled)
+    return shuffled
+
+
+class TestMemoization:
+    """The ParentSetCache path is equivalent to the brute-force recursion.
+
+    The greedy θ-mode loop relies on two properties: a shared memo returns
+    exactly what a fresh recursion computes, and the computed *set* of
+    maximal parent sets does not depend on the attribute order (greedy
+    passes the placed attributes newest-first so each round's subproblems
+    hit the previous round's memo entries).
+    """
+
+    @given(
+        sizes=st.lists(st.integers(2, 5), min_size=0, max_size=5),
+        taus=st.lists(st.floats(0.5, 200.0), min_size=1, max_size=4),
+        order_seed=st.integers(0, 2**32 - 1),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_cached_and_shuffled_match_bruteforce(self, sizes, taus, order_seed):
+        attrs = _attrs(sizes)
+        cache = ParentSetCache()  # shared across every call below
+        for tau in taus:
+            reference = _bruteforce_maximal(attrs, tau)
+            assert set(maximal_parent_sets(attrs, tau, cache=cache)) == reference
+            shuffled = _shuffle(attrs, order_seed)
+            assert (
+                set(maximal_parent_sets(shuffled, tau, cache=cache)) == reference
+            )
+
+    @given(
+        spec=st.lists(
+            st.tuples(st.integers(2, 5), st.booleans()), min_size=0, max_size=5
+        ),
+        taus=st.lists(st.floats(0.5, 200.0), min_size=1, max_size=4),
+        order_seed=st.integers(0, 2**32 - 1),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_generalized_cached_and_shuffled_match_recursion(
+        self, spec, taus, order_seed
+    ):
+        tax = TaxonomyTree.from_groups(
+            ("a", "b", "c", "d"), (("ab", ("a", "b")), ("cd", ("c", "d")))
+        )
+        attrs = []
+        for i, (size, taxed) in enumerate(spec):
+            if taxed:
+                attrs.append(
+                    Attribute(f"x{i}", ("a", "b", "c", "d"), taxonomy=tax)
+                )
+            else:
+                attrs.append(
+                    Attribute(f"x{i}", tuple(f"v{j}" for j in range(size)))
+                )
+        cache = ParentSetCache()
+        for tau in taus:
+            reference = set(maximal_parent_sets_generalized(attrs, tau))
+            assert (
+                set(maximal_parent_sets_generalized(attrs, tau, cache=cache))
+                == reference
+            )
+            shuffled = _shuffle(attrs, order_seed)
+            assert (
+                set(maximal_parent_sets_generalized(shuffled, tau, cache=cache))
+                == reference
+            )
+
+    def test_cache_not_confused_by_same_names_different_sizes(self):
+        """Keys carry domain sizes, so schema collisions are impossible."""
+        cache = ParentSetCache()
+        small = _attrs([2, 2])
+        assert maximal_parent_sets(small, 4.0, cache=cache) == [
+            frozenset({("x0", 0), ("x1", 0)})
+        ]
+        large = _attrs([3, 3])  # same names x0/x1, wider domains
+        assert set(maximal_parent_sets(large, 4.0, cache=cache)) == {
+            frozenset({("x0", 0)}),
+            frozenset({("x1", 0)}),
+        }
+
+    def test_cache_populates_tail_subproblems(self):
+        """Tail subproblems land in the memo, so a later call whose full
+        problem is a previous call's tail is a pure cache hit — the
+        mechanism greedy's newest-first ordering exploits."""
+        cache = ParentSetCache()
+        attrs = _attrs([2, 3, 4])
+        maximal_parent_sets(attrs, 12.0, cache=cache)
+        entries = len(cache._plain)
+        result = maximal_parent_sets(attrs[1:], 12.0, cache=cache)
+        assert len(cache._plain) == entries  # no new subproblems computed
+        assert set(result) == _bruteforce_maximal(attrs[1:], 12.0)
 
 
 class TestDomainSize:

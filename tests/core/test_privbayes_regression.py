@@ -1,11 +1,13 @@
-"""Golden-fingerprint regression: the scoring refactor is bit-exact.
+"""Golden-fingerprint regression: the engine refactors are bit-exact.
 
 The fingerprints below were recorded from the pre-refactor (seed) pipeline.
-Scoring consumes no randomness, so the incremental scoring engine must
-reproduce the exact RNG draw sequence — and therefore the exact networks
-and noisy conditionals — of the original per-round rescoring loop.  Any
-drift in candidate enumeration order, score floats, or selection
-sensitivity changes these hashes.
+Neither scoring, parent-set enumeration, nor contingency counting consumes
+randomness, so the incremental scoring engine (PR 1) and the batched
+distribution-learning / cached-CDF sampling engine must reproduce the exact
+RNG draw sequence — and therefore the exact networks, noisy conditionals,
+and synthetic tuples — of the original per-pair/per-call code.  Any drift
+in candidate enumeration order, score floats, count integers, selection
+sensitivity, or CDF inversion changes these hashes.
 """
 
 import hashlib
@@ -13,6 +15,11 @@ import hashlib
 import numpy as np
 import pytest
 
+from repro.core.noisy_conditionals import (
+    JointCounter,
+    noisy_conditionals_fixed_k,
+    noisy_conditionals_general,
+)
 from repro.core.privbayes import PrivBayes
 from repro.datasets import load_dataset
 
@@ -30,6 +37,14 @@ def _fingerprint(model):
     return structure.hexdigest(), full.hexdigest()
 
 
+def _table_fingerprint(table):
+    digest = hashlib.sha256()
+    for name in table.attribute_names:
+        digest.update(name.encode())
+        digest.update(np.ascontiguousarray(table.column(name)).tobytes())
+    return digest.hexdigest()
+
+
 GOLDEN_BINARY = (
     "4431772099da4586936a28f2110d36264edab1da91d59d65115b89ecf41f1b9f",
     "126bd73a0afa648001913fdfa7cf7d25935a17605a2d29d835a77b41a25a1fab",
@@ -38,6 +53,31 @@ GOLDEN_BINARY = (
 GOLDEN_GENERAL = (
     "0c7746a3aef5153d62de18e6ccd1ef984c5a2751a56f8a9ae1bbef303c96992f",
     "fded50610628ed06c5d61adc07598addd7b5d6474678fcabbe8c9d349c650c22",
+)
+
+#: model.sample(500, default_rng(777)) from the GOLDEN_BINARY model.
+GOLDEN_BINARY_SAMPLE = (
+    "f5875a3c11b0f81afc8d845eaea55927c5b57e8f5bc6166653114529e09f56c9"
+)
+
+#: Two successive model.sample(300, ...) calls sharing default_rng(2024):
+#: the second draw batch runs entirely off the cached row CDFs.
+GOLDEN_BINARY_SAMPLE_SEQ = (
+    "b492ced861842c9503dcfe204001d3cf6710d8ed76d159fd439faadd9ad4cc56",
+    "6059707c4ff62a2bb135ec5c19ece9dcb3b843cc81af13ac3e78124136933b67",
+)
+
+#: model.sample(400, default_rng(42)) from the GOLDEN_GENERAL model.
+GOLDEN_GENERAL_SAMPLE = (
+    "405bca60559aebccdf029042dd4bdf7210c2361df7684aeeb5fb727fe3d1fe55"
+)
+
+#: End-to-end fit_sample fingerprints (fit and sample share one generator).
+GOLDEN_BINARY_FIT_SAMPLE = (
+    "634ed17064e58969e948475824f849eae5d62a6d6d6453f4f02483cf0589555e"
+)
+GOLDEN_GENERAL_FIT_SAMPLE = (
+    "65a62b4e7d2b423769fa2e4da917fb11132d3fefbe324248a70bfd197b5bda6f"
 )
 
 
@@ -70,3 +110,97 @@ def test_binary_mode_matches_seed_with_shared_cache():
             epsilon=1.0, k=2, first_attribute=table.attribute_names[0]
         ).fit(table, rng=np.random.default_rng(1234), scoring_cache=cache)
         assert _fingerprint(model) == GOLDEN_BINARY
+
+
+def _golden_binary_model(scoring_cache=None):
+    table = load_dataset("nltcs", n=800, seed=3)
+    return PrivBayes(
+        epsilon=1.0, k=2, first_attribute=table.attribute_names[0]
+    ).fit(table, rng=np.random.default_rng(1234), scoring_cache=scoring_cache)
+
+
+def test_sampling_matches_seed_pipeline():
+    """Cached-CDF sampling (with the binary fast path) is bit-exact."""
+    model = _golden_binary_model()
+    synthetic = model.sample(500, np.random.default_rng(777))
+    assert _table_fingerprint(synthetic) == GOLDEN_BINARY_SAMPLE
+
+
+def test_repeated_sampling_runs_off_cached_cdfs():
+    """Draws 2..N reuse the cached row CDFs and stay bit-identical."""
+    model = _golden_binary_model()
+    rng = np.random.default_rng(2024)
+    first = model.sample(300, rng)
+    # The second call must find every conditional's CDF already cached.
+    cached = [
+        getattr(cond, "_row_cdfs", None) for cond in model.noisy.conditionals
+    ]
+    assert all(c is not None for c in cached)
+    second = model.sample(300, rng)
+    for cond, before in zip(model.noisy.conditionals, cached):
+        assert cond.row_cdfs is before  # same object: no recomputation
+    assert _table_fingerprint(first) == GOLDEN_BINARY_SAMPLE_SEQ[0]
+    assert _table_fingerprint(second) == GOLDEN_BINARY_SAMPLE_SEQ[1]
+
+
+def test_general_sampling_matches_seed_pipeline():
+    table = load_dataset("adult", n=1500, seed=5)
+    model = PrivBayes(epsilon=4.0, theta=2.0, generalize=True).fit(
+        table, rng=np.random.default_rng(99)
+    )
+    synthetic = model.sample(400, np.random.default_rng(42))
+    assert _table_fingerprint(synthetic) == GOLDEN_GENERAL_SAMPLE
+
+
+def test_fit_sample_matches_seed_pipeline():
+    """The full pipeline — batched learning + cached sampling — is pinned."""
+    table = load_dataset("nltcs", n=800, seed=3)
+    synthetic = PrivBayes(
+        epsilon=1.0, k=2, first_attribute=table.attribute_names[0]
+    ).fit_sample(table, rng=np.random.default_rng(555))
+    assert _table_fingerprint(synthetic) == GOLDEN_BINARY_FIT_SAMPLE
+
+    table_g = load_dataset("adult", n=1500, seed=5)
+    synthetic_g = PrivBayes(epsilon=4.0, theta=2.0, generalize=True).fit_sample(
+        table_g, rng=np.random.default_rng(556), n=600
+    )
+    assert _table_fingerprint(synthetic_g) == GOLDEN_GENERAL_FIT_SAMPLE
+
+
+def test_batched_distribution_learning_matches_naive_path():
+    """batched / shared-counter / per-pair paths emit identical matrices."""
+    table = load_dataset("nltcs", n=800, seed=3)
+    network = _golden_binary_model().network
+    variants = [
+        dict(batched=False),                      # seed per-pair scan
+        dict(batched=True),                       # fresh grouped counter
+        dict(counter=JointCounter(table)),        # caller-shared counter
+    ]
+    models = [
+        noisy_conditionals_fixed_k(
+            table, network, 2, 0.7, np.random.default_rng(31), **kwargs
+        )
+        for kwargs in variants
+    ]
+    for other in models[1:]:
+        for a, b in zip(models[0].conditionals, other.conditionals):
+            assert a.child == b.child
+            np.testing.assert_array_equal(a.matrix, b.matrix)
+
+
+def test_shared_counter_reused_across_fits_is_bit_exact():
+    """A warm JointCounter (second fit scans no data) changes nothing."""
+    table = load_dataset("adult", n=1500, seed=5)
+    model = PrivBayes(epsilon=4.0, theta=2.0, generalize=True).fit(
+        table, rng=np.random.default_rng(99)
+    )
+    counter = JointCounter(table)
+    reference = noisy_conditionals_general(
+        table, model.network, 1.3, np.random.default_rng(8), batched=False
+    )
+    for _ in range(2):  # second pass hits the count memo for every pair
+        again = noisy_conditionals_general(
+            table, model.network, 1.3, np.random.default_rng(8), counter=counter
+        )
+        for a, b in zip(reference.conditionals, again.conditionals):
+            np.testing.assert_array_equal(a.matrix, b.matrix)

@@ -48,6 +48,47 @@ class TestSampling:
         with pytest.raises(ValueError):
             sample_synthetic(model, attrs, -1, np.random.default_rng(0))
 
+    def test_unplaced_schema_attribute_rejected_up_front(self):
+        """A truncated/custom network that does not place every schema
+        attribute raises a ValueError naming the gaps, not a KeyError."""
+        model, attrs = _manual_model()
+        extra = attrs + [Attribute.binary("c"), Attribute.binary("d")]
+        with pytest.raises(ValueError, match=r"\['c', 'd'\]") as excinfo:
+            sample_synthetic(model, extra, 10, np.random.default_rng(0))
+        assert "does not place" in str(excinfo.value)
+
+    def test_network_attribute_missing_from_schema_rejected(self):
+        model, attrs = _manual_model()
+        with pytest.raises(ValueError, match=r"\['b'\]"):
+            sample_synthetic(model, attrs[:1], 10, np.random.default_rng(0))
+
+    def test_row_cdfs_cached_and_readonly(self):
+        model, attrs = _manual_model()
+        conditional = model.conditionals[1]
+        cdf = conditional.row_cdfs
+        assert conditional.row_cdfs is cdf  # computed once, cached
+        expected = np.cumsum(conditional.matrix, axis=1)
+        expected[:, -1] = 1.0
+        np.testing.assert_array_equal(cdf, expected)
+        with pytest.raises(ValueError):
+            cdf[0, 0] = 0.5
+
+    def test_binary_fast_path_matches_general_cdf_inversion(self):
+        """child_size == 2 takes a one-comparison path; codes must equal
+        the generic count-of-exceeded-CDF-entries inversion."""
+        from repro.core.sampler import _sample_rows
+
+        model, _ = _manual_model()
+        conditional = model.conditionals[1]
+        rows = np.random.default_rng(0).integers(0, 2, 5000)
+        draws = _sample_rows(conditional, rows, np.random.default_rng(9))
+        cdf = conditional.row_cdfs
+        uniforms = np.random.default_rng(9).random(rows.shape[0])
+        reference = (
+            (uniforms[:, None] > cdf[rows]).sum(axis=1).astype(np.int64)
+        )
+        np.testing.assert_array_equal(draws, reference)
+
     def test_marginal_converges(self):
         model, attrs = _manual_model()
         synthetic = sample_synthetic(

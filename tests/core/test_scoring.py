@@ -169,6 +169,38 @@ class TestScoringCache:
         registry = ScoringCache()
         assert registry.mi_cache(binary_table) is registry.mi_cache(binary_table)
 
+    def test_joint_counter_reused_and_shares_parent_index(self, binary_table):
+        registry = ScoringCache()
+        counter = registry.joint_counter(binary_table)
+        assert registry.joint_counter(binary_table) is counter
+        # Scorer and counter flatten parent sets through one shared cache.
+        scorer = registry.scorer(binary_table, "F")
+        assert scorer._parent_index_cache is counter._parent_index
+        assert registry.parent_index(binary_table) is counter._parent_index
+
+    def test_registry_bounded_fifo_eviction(self, binary_table, mixed_table):
+        from repro.core.scoring import _MAX_CACHED_TABLES
+        from repro.data.attribute import Attribute
+        from repro.data.table import Table
+
+        registry = ScoringCache()
+        registry.scorer(binary_table, "F")
+        churn = [
+            Table(
+                [Attribute.binary("a")],
+                {"a": np.zeros(4, dtype=np.int64) + (i % 2)},
+            )
+            for i in range(_MAX_CACHED_TABLES + 3)
+        ]
+        for t in churn:
+            registry.joint_counter(t)
+        assert len(registry._tables) <= _MAX_CACHED_TABLES
+        # Oldest (binary_table) evicted; the most recent churn tables live.
+        assert id(binary_table) not in registry._tables
+        assert id(churn[-1]) in registry._tables
+        # A fresh lookup after eviction simply rebuilds.
+        assert registry.scorer(binary_table, "F").table is binary_table
+
     def test_scorer_table_mismatch_rejected(self, binary_table, mixed_table):
         from repro.core.greedy_bayes import greedy_bayes_fixed_k
 

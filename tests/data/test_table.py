@@ -104,6 +104,41 @@ class TestDerivations:
         assert t.attribute_names == ("b",)
 
 
+class TestTrustedConstruction:
+    def test_matches_validating_constructor(self):
+        attrs = [Attribute.binary("a"), Attribute("b", ("x", "y", "z"))]
+        columns = {"a": np.array([0, 1, 1, 0]), "b": np.array([2, 0, 1, 1])}
+        trusted = Table.from_trusted_columns(attrs, columns)
+        validated = Table(attrs, columns)
+        assert trusted.n == validated.n == 4
+        assert trusted.attribute_names == validated.attribute_names
+        for name in trusted.attribute_names:
+            np.testing.assert_array_equal(
+                trusted.column(name), validated.column(name)
+            )
+            assert trusted.column(name).dtype == np.int64
+
+    def test_schema_consistency_still_enforced(self):
+        attrs = [Attribute.binary("a")]
+        with pytest.raises(ValueError, match="do not match"):
+            Table.from_trusted_columns(attrs, {})
+        with pytest.raises(ValueError, match="differing lengths"):
+            Table.from_trusted_columns(
+                [Attribute.binary("a"), Attribute.binary("b")],
+                {"a": np.zeros(3, dtype=int), "b": np.zeros(4, dtype=int)},
+            )
+        with pytest.raises(ValueError, match="1-dimensional"):
+            Table.from_trusted_columns(
+                attrs, {"a": np.zeros((2, 2), dtype=int)}
+            )
+
+    def test_empty_table(self):
+        t = Table.from_trusted_columns(
+            [Attribute.binary("a")], {"a": np.zeros(0, dtype=int)}
+        )
+        assert t.n == 0
+
+
 class TestRecords:
     def test_records_roundtrip(self):
         t = _small()
