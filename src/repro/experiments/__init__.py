@@ -13,6 +13,12 @@ from repro.experiments.framework import (
     render_result,
     subsample_workload,
 )
+from repro.experiments.parallel import (
+    SweepCell,
+    SweepExecutor,
+    cell_seed,
+    mean_reduce,
+)
 from repro.experiments.plotting import render_chart
 from repro.experiments.table5 import run_table5
 from repro.experiments.fig4_scores import run_fig4
@@ -27,6 +33,10 @@ from repro.experiments.fig16_19_svm import run_svm_comparison
 __all__ = [
     "EPSILONS",
     "ExperimentResult",
+    "SweepCell",
+    "SweepExecutor",
+    "cell_seed",
+    "mean_reduce",
     "render_result",
     "render_chart",
     "subsample_workload",

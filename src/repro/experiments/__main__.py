@@ -6,9 +6,12 @@ Examples::
     python -m repro.experiments fig4 --dataset nltcs --fast
     python -m repro.experiments fig12 --dataset nltcs --alpha 3 --repeats 5
     python -m repro.experiments fig16 --dataset adult --task 1
+    python -m repro.experiments fig9 --fast --jobs 4
 
 ``--fast`` shrinks the dataset, the ε grid and the workload so a panel
-finishes in seconds; omit it for paper-scale runs.
+finishes in seconds; omit it for paper-scale runs.  ``--jobs N`` fans a
+sweep figure's (ε, repeat) cells across N forked workers with
+bit-identical output (see :mod:`repro.experiments.parallel`).
 """
 
 from __future__ import annotations
@@ -77,11 +80,23 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="small dataset, reduced epsilon grid, capped workload",
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help=(
+            "worker processes for the sweep figures (fig9-fig19); output "
+            "is bit-identical to --jobs 1 for any value"
+        ),
+    )
     return parser
 
 
 def main(argv=None) -> int:
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.jobs < 1:
+        parser.error("--jobs must be a positive integer")
     if args.experiment == "table5":
         print(render_table5(run_table5(n=args.n, seed=args.seed)))
         return 0
@@ -106,24 +121,30 @@ def main(argv=None) -> int:
         result = run_encoding_svm(task_index=args.task, **common)
     elif args.experiment == "fig9":
         result = run_beta_sweep(
-            kind=args.kind, max_marginals=max_marginals, **common
+            kind=args.kind, max_marginals=max_marginals, jobs=args.jobs,
+            **common,
         )
     elif args.experiment == "fig10":
         result = run_theta_sweep(
-            kind=args.kind, max_marginals=max_marginals, **common
+            kind=args.kind, max_marginals=max_marginals, jobs=args.jobs,
+            **common,
         )
     elif args.experiment == "fig11":
         result = run_error_source(
-            kind=args.kind, max_marginals=max_marginals, **common
+            kind=args.kind, max_marginals=max_marginals, jobs=args.jobs,
+            **common,
         )
     elif args.experiment in ("fig12", "fig13", "fig14", "fig15"):
         default_alpha = 3 if dataset in ("nltcs", "acs") else 2
         alpha = args.alpha if args.alpha is not None else default_alpha
         result = run_marginals_comparison(
-            alpha=alpha, max_marginals=max_marginals, **common
+            alpha=alpha, max_marginals=max_marginals, jobs=args.jobs,
+            **common,
         )
     elif args.experiment in ("fig16", "fig17", "fig18", "fig19"):
-        result = run_svm_comparison(task_index=args.task, **common)
+        result = run_svm_comparison(
+            task_index=args.task, jobs=args.jobs, **common
+        )
     else:  # pragma: no cover - argparse guards this
         raise SystemExit(f"unknown experiment {args.experiment}")
     print(render_result(result))

@@ -8,11 +8,10 @@ from __future__ import annotations
 
 from typing import Optional, Sequence
 
-import numpy as np
-
 from repro.core.privbayes import DEFAULT_BETA
 from repro.experiments.framework import EPSILONS, ExperimentResult
-from repro.experiments.sweep_common import SweepContext, private_release
+from repro.experiments.parallel import SweepCell, cell_seed, mean_reduce
+from repro.experiments.sweep_common import SweepContext, run_sweep_cells
 
 #: The paper's θ grid.
 THETAS = (0.5, 1.0, 2.0, 3.0, 4.0, 6.0, 8.0, 12.0)
@@ -28,6 +27,7 @@ def run_theta_sweep(
     max_marginals: Optional[int] = None,
     beta: float = DEFAULT_BETA,
     seed: int = 0,
+    jobs: int = 1,
 ) -> ExperimentResult:
     """Reproduce one panel of Figure 10."""
     context = SweepContext(
@@ -44,24 +44,23 @@ def run_theta_sweep(
         ),
         x=list(thetas),
     )
+    cells = [
+        SweepCell(
+            dataset,
+            epsilon,
+            r,
+            cell_seed(seed * 7919, eps_idx * 1009 + t_idx * 101 + r),
+            params=(("beta", beta), ("theta", theta)),
+        )
+        for eps_idx, epsilon in enumerate(epsilons)
+        for t_idx, theta in enumerate(thetas)
+        for r in range(repeats)
+    ]
+    metrics = run_sweep_cells(context, cells, jobs)
+    means = mean_reduce(metrics, repeats)
     for eps_idx, epsilon in enumerate(epsilons):
-        values = []
-        for t_idx, theta in enumerate(thetas):
-            metrics = []
-            for r in range(repeats):
-                rng = np.random.default_rng(
-                    seed * 7919 + eps_idx * 1009 + t_idx * 101 + r
-                )
-                synthetic = private_release(
-                    context.fit_table,
-                    epsilon,
-                    beta,
-                    theta,
-                    context.is_binary,
-                    rng,
-                    scoring_cache=context.scoring,
-                )
-                metrics.append(context.evaluate(synthetic))
-            values.append(float(np.mean(metrics)))
-        result.add(f"eps={epsilon}", values)
+        result.add(
+            f"eps={epsilon}",
+            means[eps_idx * len(thetas) : (eps_idx + 1) * len(thetas)],
+        )
     return result

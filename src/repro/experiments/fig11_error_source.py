@@ -16,11 +16,10 @@ from __future__ import annotations
 
 from typing import Optional, Sequence
 
-import numpy as np
-
 from repro.core.privbayes import DEFAULT_BETA, DEFAULT_THETA
 from repro.experiments.framework import EPSILONS, ExperimentResult
-from repro.experiments.sweep_common import SweepContext, private_release
+from repro.experiments.parallel import SweepCell, cell_seed, mean_reduce
+from repro.experiments.sweep_common import SweepContext, run_sweep_cells
 
 _VARIANTS = (
     ("PrivBayes", False, False),
@@ -39,6 +38,7 @@ def run_error_source(
     beta: float = DEFAULT_BETA,
     theta: float = DEFAULT_THETA,
     seed: int = 0,
+    jobs: int = 1,
 ) -> ExperimentResult:
     """Reproduce one panel of Figure 11."""
     context = SweepContext(
@@ -55,24 +55,30 @@ def run_error_source(
         ),
         x=list(epsilons),
     )
-    for name, oracle_network, oracle_marginals in _VARIANTS:
-        values = []
-        for eps_idx, epsilon in enumerate(epsilons):
-            metrics = []
-            for r in range(repeats):
-                rng = np.random.default_rng(seed * 7919 + eps_idx * 101 + r)
-                synthetic = private_release(
-                    context.fit_table,
-                    epsilon,
-                    beta,
-                    theta,
-                    context.is_binary,
-                    rng,
-                    scoring_cache=context.scoring,
-                    oracle_network=oracle_network,
-                    oracle_marginals=oracle_marginals,
-                )
-                metrics.append(context.evaluate(synthetic))
-            values.append(float(np.mean(metrics)))
-        result.add(name, values)
+    # All three variants share one seed per (ε, repeat) cell — the paper's
+    # paired-noise diagnostic: identical draws, only the oracle differs.
+    cells = [
+        SweepCell(
+            dataset,
+            epsilon,
+            r,
+            cell_seed(seed * 7919, eps_idx * 101 + r),
+            series=name,
+            params=(
+                ("beta", beta),
+                ("theta", theta),
+                ("oracle_network", oracle_network),
+                ("oracle_marginals", oracle_marginals),
+            ),
+        )
+        for name, oracle_network, oracle_marginals in _VARIANTS
+        for eps_idx, epsilon in enumerate(epsilons)
+        for r in range(repeats)
+    ]
+    metrics = run_sweep_cells(context, cells, jobs)
+    means = mean_reduce(metrics, repeats)
+    for v_idx, (name, _, _) in enumerate(_VARIANTS):
+        result.add(
+            name, means[v_idx * len(epsilons) : (v_idx + 1) * len(epsilons)]
+        )
     return result

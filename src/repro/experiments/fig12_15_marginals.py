@@ -9,8 +9,6 @@ from __future__ import annotations
 
 from typing import Optional, Sequence
 
-import numpy as np
-
 from repro.baselines import (
     ContingencyMarginals,
     FourierMarginals,
@@ -24,8 +22,14 @@ from repro.datasets import load_dataset
 from repro.experiments.framework import (
     EPSILONS,
     ExperimentResult,
-    stable_series_seed,
     subsample_workload,
+)
+from repro.experiments.parallel import (
+    SweepCell,
+    cell_seed,
+    get_worker_state,
+    mean_reduce,
+    run_cells,
 )
 from repro.experiments.sweep_common import private_release
 from repro.workloads import (
@@ -35,6 +39,39 @@ from repro.workloads import (
 )
 
 _FULL_DOMAIN_DATASETS = {"nltcs", "acs"}
+
+#: Worker-state key for the panel fixtures (fork-inherited by the pool).
+_STATE_KEY = "fig12_15.state"
+
+
+def _marginals_cell(cell: SweepCell) -> float:
+    """One cell: release by the cell's series, score average TVD.
+
+    ``series == "PrivBayes"`` runs the pipeline with the panel's shared
+    :class:`~repro.core.scoring.ScoringCache`; any other series releases
+    through the named baseline on the workload it was budgeted for.
+    """
+    state = get_worker_state(_STATE_KEY)
+    rng = cell.rng()
+    if cell.series == "PrivBayes":
+        synthetic = private_release(
+            state["table"],
+            cell.epsilon,
+            state["beta"],
+            state["theta"],
+            state["is_binary"],
+            rng,
+            scoring_cache=state["scoring"],
+        )
+        released = synthetic_marginals(synthetic, state["eval_workload"])
+    else:
+        baseline, release_workload = state["baselines"][cell.series]
+        released = baseline.release(
+            state["table"], release_workload, cell.epsilon, rng
+        )
+    return average_variation_distance(
+        state["table"], released, state["eval_workload"]
+    )
 
 
 def run_marginals_comparison(
@@ -49,6 +86,7 @@ def run_marginals_comparison(
     beta: float = DEFAULT_BETA,
     theta: float = DEFAULT_THETA,
     seed: int = 0,
+    jobs: int = 1,
 ) -> ExperimentResult:
     """Reproduce one panel of Figures 12-15."""
     table = load_dataset(dataset, n=n, seed=seed)
@@ -81,41 +119,41 @@ def run_marginals_comparison(
         x=list(epsilons),
     )
     scoring = ScoringCache()  # shared across the ε grid and repeats
-    privbayes_values = []
-    for eps_idx, epsilon in enumerate(epsilons):
-        metrics = []
-        for r in range(repeats):
-            rng = np.random.default_rng(seed * 7919 + eps_idx * 101 + r)
-            synthetic = private_release(
-                table, epsilon, beta, theta, is_binary, rng,
-                scoring_cache=scoring,
-            )
-            released = synthetic_marginals(synthetic, eval_workload)
-            metrics.append(
-                average_variation_distance(table, released, eval_workload)
-            )
-        privbayes_values.append(float(np.mean(metrics)))
-    result.add("PrivBayes", privbayes_values)
-
-    for baseline, release_workload in baselines:
-        values = []
-        for eps_idx, epsilon in enumerate(epsilons):
-            metrics = []
-            for r in range(repeats):
-                # stable_series_seed, not hash(): hash() is salted per
-                # process under PYTHONHASHSEED randomization, which made the
-                # baseline series drift run-to-run while PrivBayes rows
-                # stayed bit-stable.
-                rng = np.random.default_rng(
-                    seed * 6271 + eps_idx * 101 + r
-                    + stable_series_seed(baseline.name)
-                )
-                released = baseline.release(
-                    table, release_workload, epsilon, rng
-                )
-                metrics.append(
-                    average_variation_distance(table, released, eval_workload)
-                )
-            values.append(float(np.mean(metrics)))
-        result.add(baseline.name, values)
+    state = {
+        "table": table,
+        "eval_workload": eval_workload,
+        "baselines": {b.name: (b, w) for b, w in baselines},
+        "beta": beta,
+        "theta": theta,
+        "is_binary": is_binary,
+        "scoring": scoring,
+    }
+    # Baseline cells derive their seeds through the series-name offset
+    # (cell_seed adds stable_series_seed, not hash(): hash() is salted per
+    # process under PYTHONHASHSEED randomization, which once made the
+    # baseline series drift run-to-run while PrivBayes rows stayed
+    # bit-stable).
+    series_names = ["PrivBayes"] + [b.name for b, _ in baselines]
+    cells = [
+        SweepCell(
+            dataset,
+            epsilon,
+            r,
+            cell_seed(
+                seed * (7919 if name == "PrivBayes" else 6271),
+                eps_idx * 101 + r,
+                series="" if name == "PrivBayes" else name,
+            ),
+            series=name,
+        )
+        for name in series_names
+        for eps_idx, epsilon in enumerate(epsilons)
+        for r in range(repeats)
+    ]
+    metrics = run_cells(_STATE_KEY, state, _marginals_cell, cells, jobs)
+    means = mean_reduce(metrics, repeats)
+    for s_idx, name in enumerate(series_names):
+        result.add(
+            name, means[s_idx * len(epsilons) : (s_idx + 1) * len(epsilons)]
+        )
     return result

@@ -18,11 +18,71 @@ from repro.core.privbayes import DEFAULT_BETA, DEFAULT_THETA
 from repro.core.scoring import ScoringCache
 from repro.datasets import load_dataset
 from repro.experiments.framework import EPSILONS, ExperimentResult
-from repro.experiments.sweep_common import private_release
+from repro.experiments.parallel import (
+    SweepCell,
+    cell_seed,
+    get_worker_state,
+    mean_reduce,
+    run_cells,
+)
+from repro.experiments.sweep_common import (
+    evaluate_svm_synthetic,
+    private_release,
+)
 from repro.svm import LinearSVM, featurize, misclassification_rate
 from repro.workloads import tasks_for
 
 _BINARY_DATASETS = {"nltcs", "acs"}
+
+#: Series fitted per (ε, repeat) cell, besides the NoPrivacy constant.
+_SWEPT_SERIES = (
+    "PrivBayes",
+    "Majority",
+    "PrivateERM",
+    "PrivateERM (Single)",
+    "PrivGene",
+)
+
+#: Worker-state key for the panel fixtures (fork-inherited by the pool).
+_STATE_KEY = "fig16_19.state"
+
+
+def _svm_cell(cell: SweepCell) -> float:
+    """One cell: fit the cell's series at its ε, score the test error.
+
+    Budget split per Section 6.6: the simultaneous-classifier baselines
+    get ε/4, "PrivateERM (Single)" the full ε, and PrivBayes synthesizes
+    one dataset from which the panel classifier trains.
+    """
+    state = get_worker_state(_STATE_KEY)
+    rng = cell.rng()
+    epsilon = cell.epsilon
+    X_train, y_train = state["X_train"], state["y_train"]
+    X_test, y_test = state["X_test"], state["y_test"]
+    if cell.series == "PrivBayes":
+        synthetic = private_release(
+            state["train"],
+            epsilon,
+            state["beta"],
+            state["theta"],
+            state["is_binary"],
+            rng,
+            scoring_cache=state["scoring"],
+        )
+        return evaluate_svm_synthetic(synthetic, state["task"], X_test, y_test)
+    elif cell.series == "Majority":
+        model = MajorityClassifier().fit(X_train, y_train, epsilon / 4.0, rng)
+    elif cell.series == "PrivateERM":
+        model = PrivateERM().fit(X_train, y_train, epsilon / 4.0, rng)
+    elif cell.series == "PrivateERM (Single)":
+        model = PrivateERM().fit(X_train, y_train, epsilon, rng)
+    elif cell.series == "PrivGene":
+        model = PrivGene(iterations=state["privgene_iterations"]).fit(
+            X_train, y_train, epsilon / 4.0, rng
+        )
+    else:
+        raise ValueError(f"unknown series {cell.series!r}")
+    return misclassification_rate(model, X_test, y_test)
 
 
 def run_svm_comparison(
@@ -35,6 +95,7 @@ def run_svm_comparison(
     theta: float = DEFAULT_THETA,
     seed: int = 0,
     privgene_iterations: int = 10,
+    jobs: int = 1,
 ) -> ExperimentResult:
     """Reproduce one panel of Figures 16-19."""
     table = load_dataset(dataset, n=n, seed=seed)
@@ -59,70 +120,38 @@ def run_svm_comparison(
     )
     result.add("NoPrivacy", [floor] * len(epsilons))
 
-    def sweep(fit_one):
-        values = []
-        for eps_idx, epsilon in enumerate(epsilons):
-            metrics = []
-            for r in range(repeats):
-                rng = np.random.default_rng(seed * 7919 + eps_idx * 101 + r)
-                metrics.append(fit_one(epsilon, rng))
-            values.append(float(np.mean(metrics)))
-        return values
-
     scoring = ScoringCache()  # shared across the ε grid and repeats
-
-    def privbayes_one(epsilon, rng):
-        synthetic = private_release(
-            train, epsilon, beta, theta, is_binary, rng, scoring_cache=scoring
+    state = {
+        "train": train,
+        "task": task,
+        "X_train": X_train,
+        "y_train": y_train,
+        "X_test": X_test,
+        "y_test": y_test,
+        "is_binary": is_binary,
+        "beta": beta,
+        "theta": theta,
+        "scoring": scoring,
+        "privgene_iterations": privgene_iterations,
+    }
+    # Every series consumes the same seed per (ε, repeat) cell — the same
+    # draws the serial loops used, so jobs>1 stays bit-identical.
+    cells = [
+        SweepCell(
+            dataset,
+            epsilon,
+            r,
+            cell_seed(seed * 7919, eps_idx * 101 + r),
+            series=name,
         )
-        X_syn, y_syn = featurize(synthetic, task)
-        if len(set(y_syn.tolist())) < 2:
-            majority = y_syn[0] if y_syn.size else 1.0
-            return float(np.mean(y_test != majority))
-        return misclassification_rate(
-            LinearSVM().fit(X_syn, y_syn), X_test, y_test
+        for name in _SWEPT_SERIES
+        for eps_idx, epsilon in enumerate(epsilons)
+        for r in range(repeats)
+    ]
+    metrics = run_cells(_STATE_KEY, state, _svm_cell, cells, jobs)
+    means = mean_reduce(metrics, repeats)
+    for s_idx, name in enumerate(_SWEPT_SERIES):
+        result.add(
+            name, means[s_idx * len(epsilons) : (s_idx + 1) * len(epsilons)]
         )
-
-    result.add("PrivBayes", sweep(privbayes_one))
-    # Budget-split baselines: four simultaneous classifiers → ε/4 each.
-    result.add(
-        "Majority",
-        sweep(
-            lambda eps, rng: misclassification_rate(
-                MajorityClassifier().fit(X_train, y_train, eps / 4.0, rng),
-                X_test,
-                y_test,
-            )
-        ),
-    )
-    result.add(
-        "PrivateERM",
-        sweep(
-            lambda eps, rng: misclassification_rate(
-                PrivateERM().fit(X_train, y_train, eps / 4.0, rng),
-                X_test,
-                y_test,
-            )
-        ),
-    )
-    result.add(
-        "PrivateERM (Single)",
-        sweep(
-            lambda eps, rng: misclassification_rate(
-                PrivateERM().fit(X_train, y_train, eps, rng), X_test, y_test
-            )
-        ),
-    )
-    result.add(
-        "PrivGene",
-        sweep(
-            lambda eps, rng: misclassification_rate(
-                PrivGene(iterations=privgene_iterations).fit(
-                    X_train, y_train, eps / 4.0, rng
-                ),
-                X_test,
-                y_test,
-            )
-        ),
-    )
     return result

@@ -9,11 +9,10 @@ from __future__ import annotations
 
 from typing import Optional, Sequence
 
-import numpy as np
-
 from repro.core.privbayes import DEFAULT_THETA
 from repro.experiments.framework import EPSILONS, ExperimentResult
-from repro.experiments.sweep_common import SweepContext, private_release
+from repro.experiments.parallel import SweepCell, cell_seed, mean_reduce
+from repro.experiments.sweep_common import SweepContext, run_sweep_cells
 
 #: The paper's β grid.
 BETAS = (0.01, 0.05, 0.1, 0.2, 0.3, 0.5, 0.7, 0.9)
@@ -29,6 +28,7 @@ def run_beta_sweep(
     max_marginals: Optional[int] = None,
     theta: float = DEFAULT_THETA,
     seed: int = 0,
+    jobs: int = 1,
 ) -> ExperimentResult:
     """Reproduce one panel of Figure 9."""
     context = SweepContext(
@@ -45,24 +45,23 @@ def run_beta_sweep(
         ),
         x=list(betas),
     )
+    cells = [
+        SweepCell(
+            dataset,
+            epsilon,
+            r,
+            cell_seed(seed * 7919, eps_idx * 1009 + b_idx * 101 + r),
+            params=(("beta", beta), ("theta", theta)),
+        )
+        for eps_idx, epsilon in enumerate(epsilons)
+        for b_idx, beta in enumerate(betas)
+        for r in range(repeats)
+    ]
+    metrics = run_sweep_cells(context, cells, jobs)
+    means = mean_reduce(metrics, repeats)
     for eps_idx, epsilon in enumerate(epsilons):
-        values = []
-        for b_idx, beta in enumerate(betas):
-            metrics = []
-            for r in range(repeats):
-                rng = np.random.default_rng(
-                    seed * 7919 + eps_idx * 1009 + b_idx * 101 + r
-                )
-                synthetic = private_release(
-                    context.fit_table,
-                    epsilon,
-                    beta,
-                    theta,
-                    context.is_binary,
-                    rng,
-                    scoring_cache=context.scoring,
-                )
-                metrics.append(context.evaluate(synthetic))
-            values.append(float(np.mean(metrics)))
-        result.add(f"eps={epsilon}", values)
+        result.add(
+            f"eps={epsilon}",
+            means[eps_idx * len(betas) : (eps_idx + 1) * len(betas)],
+        )
     return result

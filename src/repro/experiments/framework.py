@@ -34,6 +34,10 @@ def stable_series_seed(name: str) -> int:
     return zlib.crc32(name.encode("utf-8")) % 1000
 
 
+#: Keys a serialized :class:`ExperimentResult` must carry.
+_RESULT_KEYS = ("experiment", "title", "x_label", "y_label", "x", "series")
+
+
 @dataclass
 class ExperimentResult:
     """Series data mirroring one figure panel.
@@ -69,6 +73,12 @@ class ExperimentResult:
 
     @staticmethod
     def from_dict(data: dict) -> "ExperimentResult":
+        missing = [key for key in _RESULT_KEYS if key not in data]
+        if missing:
+            raise ValueError(
+                f"ExperimentResult.from_dict: missing keys {missing} "
+                f"(got {sorted(data)})"
+            )
         result = ExperimentResult(
             experiment=data["experiment"],
             title=data["title"],
@@ -117,4 +127,16 @@ def subsample_workload(
 
 
 def mean_over_repeats(values: Sequence[float]) -> float:
+    """Mean of one grid point's repeat metrics.
+
+    An empty series means a sweep produced no metric for a grid point —
+    a harness bug (or ``repeats=0``); ``np.mean`` would return ``nan``
+    under a ``RuntimeWarning`` and silently poison every downstream plot,
+    so fail loudly instead.
+    """
+    values = list(values)
+    if not values:
+        raise ValueError(
+            "mean_over_repeats: empty series (no metric values to average)"
+        )
     return float(np.mean(values))

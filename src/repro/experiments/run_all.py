@@ -40,8 +40,16 @@ SCALES = {
 }
 
 
-def battery(scale: Dict) -> List[Tuple[str, Callable[[], ExperimentResult]]]:
-    """The full panel list, bound to one scale preset."""
+def battery(
+    scale: Dict, jobs: int = 1
+) -> List[Tuple[str, Callable[[], ExperimentResult]]]:
+    """The full panel list, bound to one scale preset.
+
+    ``jobs`` fans each sweep panel's (ε, repeat) cells across that many
+    forked workers (figures 9-19; see
+    :mod:`repro.experiments.parallel`) — output is bit-identical to
+    ``jobs=1`` for every worker count.
+    """
     n = scale["n"]
     repeats = scale["repeats"]
     epsilons = scale["epsilons"]
@@ -85,7 +93,7 @@ def battery(scale: Dict) -> List[Tuple[str, Callable[[], ExperimentResult]]]:
                     f"fig9-{dataset}-{kind}",
                     lambda d=dataset, k=kind: run_beta_sweep(
                         dataset=d, kind=k, epsilons=epsilons,
-                        repeats=repeats, n=n, max_marginals=cap,
+                        repeats=repeats, n=n, max_marginals=cap, jobs=jobs,
                     ),
                 )
             )
@@ -94,7 +102,7 @@ def battery(scale: Dict) -> List[Tuple[str, Callable[[], ExperimentResult]]]:
                     f"fig10-{dataset}-{kind}",
                     lambda d=dataset, k=kind: run_theta_sweep(
                         dataset=d, kind=k, epsilons=epsilons,
-                        repeats=repeats, n=n, max_marginals=cap,
+                        repeats=repeats, n=n, max_marginals=cap, jobs=jobs,
                     ),
                 )
             )
@@ -103,7 +111,7 @@ def battery(scale: Dict) -> List[Tuple[str, Callable[[], ExperimentResult]]]:
                     f"fig11-{dataset}-{kind}",
                     lambda d=dataset, k=kind: run_error_source(
                         dataset=d, kind=k, epsilons=epsilons,
-                        repeats=repeats, n=n, max_marginals=cap,
+                        repeats=repeats, n=n, max_marginals=cap, jobs=jobs,
                     ),
                 )
             )
@@ -116,7 +124,7 @@ def battery(scale: Dict) -> List[Tuple[str, Callable[[], ExperimentResult]]]:
                     f"fig12-15-{dataset}-Q{alpha}",
                     lambda d=dataset, a=alpha: run_marginals_comparison(
                         dataset=d, alpha=a, epsilons=epsilons,
-                        repeats=repeats, n=n, max_marginals=cap,
+                        repeats=repeats, n=n, max_marginals=cap, jobs=jobs,
                     ),
                 )
             )
@@ -127,7 +135,7 @@ def battery(scale: Dict) -> List[Tuple[str, Callable[[], ExperimentResult]]]:
                     f"fig16-19-{dataset}-task{task}",
                     lambda d=dataset, t=task: run_svm_comparison(
                         dataset=d, task_index=t, epsilons=epsilons,
-                        repeats=repeats, n=n,
+                        repeats=repeats, n=n, jobs=jobs,
                     ),
                 )
             )
@@ -144,13 +152,21 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--only", default=None, help="substring filter on panel names"
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes per sweep panel (bit-identical to --jobs 1)",
+    )
     args = parser.parse_args(argv)
+    if args.jobs < 1:
+        parser.error("--jobs must be a positive integer")
     scale = SCALES[args.scale]
     out_dir = Path(args.out)
     out_dir.mkdir(parents=True, exist_ok=True)
 
     report_lines = [render_table5(run_table5(n=scale["n"])), ""]
-    panels = battery(scale)
+    panels = battery(scale, jobs=args.jobs)
     if args.only:
         panels = [(name, fn) for name, fn in panels if args.only in name]
     print(f"running {len(panels)} panels at scale {args.scale!r}")

@@ -23,6 +23,12 @@ from repro.workloads import (
     tasks_for,
 )
 from repro.experiments.framework import subsample_workload
+from repro.experiments.parallel import (
+    SweepCell,
+    get_worker_state,
+    run_cells,
+    set_worker_state,
+)
 
 #: dataset -> (Q_α for the counting task, SVM task index, release method).
 SWEEP_TASKS = {
@@ -124,9 +130,69 @@ class SweepContext:
             return average_variation_distance(
                 self.reference, released, self.workload
             )
-        X_syn, y_syn = featurize(synthetic, self.task)
-        if len(set(y_syn.tolist())) < 2:
-            majority = y_syn[0] if y_syn.size else 1.0
-            return float(np.mean(self.y_test != majority))
-        model = LinearSVM().fit(X_syn, y_syn)
-        return misclassification_rate(model, self.X_test, self.y_test)
+        return evaluate_svm_synthetic(
+            synthetic, self.task, self.X_test, self.y_test
+        )
+
+
+def evaluate_svm_synthetic(synthetic, task, X_test, y_test) -> float:
+    """Test error of an SVM trained on a synthetic release.
+
+    A degenerate release (single label) cannot train an SVM; score it as
+    the constant majority-label classifier it effectively is.  Shared by
+    the svm-kind sweeps (fig 9-11) and the fig 16-19 comparison so the
+    fallback semantics cannot drift apart.
+    """
+    X_syn, y_syn = featurize(synthetic, task)
+    if len(set(y_syn.tolist())) < 2:
+        majority = y_syn[0] if y_syn.size else 1.0
+        return float(np.mean(y_test != majority))
+    model = LinearSVM().fit(X_syn, y_syn)
+    return misclassification_rate(model, X_test, y_test)
+
+
+#: Worker-state key under which the sweep's context is fork-inherited.
+SWEEP_CONTEXT_KEY = "sweep_common.context"
+
+
+def activate_sweep_context(context: SweepContext) -> None:
+    """Install ``context`` as the state :func:`release_cell` reads.
+
+    The install half of what :func:`run_sweep_cells` does around a whole
+    sweep (the fig 9/10/11 path — it also clears the state afterwards);
+    use this directly only to drive :func:`release_cell` by hand, paired
+    with ``clear_worker_state(SWEEP_CONTEXT_KEY)`` when done.
+    """
+    set_worker_state(SWEEP_CONTEXT_KEY, context)
+
+
+def run_sweep_cells(context: SweepContext, cells, jobs: int = 1):
+    """Map :func:`release_cell` over ``cells`` under ``context``.
+
+    Installs the context for the (possibly forked) workers, runs the
+    sweep, and always drops the state afterwards so batch drivers don't
+    accumulate one context per panel.
+    """
+    return run_cells(SWEEP_CONTEXT_KEY, context, release_cell, cells, jobs)
+
+
+def release_cell(cell: SweepCell) -> float:
+    """One sweep cell: release under the cell's knobs, score the metric.
+
+    The β/θ and Figure 11 oracle switches travel in ``cell.params``; all
+    randomness comes from ``cell.rng()``, so the metric is a pure function
+    of the cell — independent of which process runs it, or when.
+    """
+    context: SweepContext = get_worker_state(SWEEP_CONTEXT_KEY)
+    synthetic = private_release(
+        context.fit_table,
+        cell.epsilon,
+        cell.param("beta"),
+        cell.param("theta"),
+        context.is_binary,
+        cell.rng(),
+        oracle_network=bool(cell.param("oracle_network", False)),
+        oracle_marginals=bool(cell.param("oracle_marginals", False)),
+        scoring_cache=context.scoring,
+    )
+    return context.evaluate(synthetic)

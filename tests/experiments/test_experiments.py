@@ -45,6 +45,24 @@ class TestFramework:
         workload = [("a",), ("b",)]
         assert subsample_workload(workload, 10) == workload
 
+    def test_mean_over_repeats(self):
+        from repro.experiments.framework import mean_over_repeats
+
+        assert mean_over_repeats([1.0, 3.0]) == 2.0
+        assert mean_over_repeats((0.5,)) == 0.5
+
+    def test_mean_over_repeats_empty_is_a_clear_error(self):
+        # Not a nan under a numpy RuntimeWarning: a ValueError that names
+        # the problem (an empty repeat series is always a harness bug).
+        import warnings
+
+        from repro.experiments.framework import mean_over_repeats
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")  # any RuntimeWarning would fail
+            with pytest.raises(ValueError, match="empty series"):
+                mean_over_repeats([])
+
 
 class TestTable5:
     def test_rows_and_rendering(self):
@@ -167,3 +185,21 @@ class TestCLI:
         assert main(["fig4", "--fast", "--n", "500", "--repeats", "1"]) == 0
         out = capsys.readouterr().out
         assert "score functions" in out
+
+    @pytest.mark.slow
+    def test_main_fig9_jobs(self, capsys):
+        from repro.experiments.__main__ import main
+
+        args = ["fig9", "--fast", "--n", "400", "--repeats", "1",
+                "--max-marginals", "4"]
+        assert main(args + ["--jobs", "2"]) == 0
+        pooled = capsys.readouterr().out
+        assert main(args) == 0
+        serial = capsys.readouterr().out
+        assert pooled == serial  # --jobs never changes the rendered series
+
+    def test_main_jobs_rejects_nonpositive(self, capsys):
+        from repro.experiments.__main__ import main
+
+        with pytest.raises(SystemExit):
+            main(["fig9", "--fast", "--jobs", "0"])

@@ -21,6 +21,34 @@ class TestResultSerialization:
         result.add("m", [1.0])
         json.dumps(result.to_dict())  # must not raise
 
+    def test_roundtrip_through_json_text(self):
+        """The exact path run_all uses: to_dict → json → from_dict."""
+        result = ExperimentResult("fig-y", "t", "eps", "err", x=[0.1, 0.4])
+        result.add("PrivBayes", [0.5, 0.25])
+        result.add("Laplace", [0.75, 0.5])
+        restored = ExperimentResult.from_dict(
+            json.loads(json.dumps(result.to_dict()))
+        )
+        assert restored.to_dict() == result.to_dict()
+
+    def test_roundtrip_empty_series_dict(self):
+        """No series at all round-trips (a panel before any add())."""
+        result = ExperimentResult("fig-z", "t", "eps", "err", x=[1])
+        restored = ExperimentResult.from_dict(result.to_dict())
+        assert restored.series == {}
+
+    def test_from_dict_missing_keys_is_a_clear_error(self):
+        with pytest.raises(ValueError, match="missing keys.*series"):
+            ExperimentResult.from_dict({"experiment": "fig-x"})
+        with pytest.raises(ValueError, match="missing keys"):
+            ExperimentResult.from_dict({})
+
+    def test_from_dict_preserves_length_validation(self):
+        data = ExperimentResult("fig-x", "t", "eps", "err", x=[1, 2]).to_dict()
+        data["series"] = {"m": [0.5]}  # wrong length for two x points
+        with pytest.raises(ValueError, match="2 x points"):
+            ExperimentResult.from_dict(data)
+
 
 class TestBattery:
     def test_panel_inventory_covers_every_figure(self):
@@ -45,3 +73,23 @@ class TestBattery:
         assert len(json_files) == 1
         data = json.loads(json_files[0].read_text())
         assert "NoPrivacy" in data["series"]
+
+    def test_jobs_flag_rejects_nonpositive(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["--jobs", "0"])
+
+    @pytest.mark.slow
+    def test_jobs_output_matches_serial(self, tmp_path):
+        """One pooled sweep panel writes the same JSON as the serial run."""
+        serial_dir, pooled_dir = tmp_path / "serial", tmp_path / "pooled"
+        for jobs, out_dir in (("1", serial_dir), ("2", pooled_dir)):
+            rc = main(
+                [
+                    "--scale", "fast", "--out", str(out_dir),
+                    "--only", "fig9-nltcs-count", "--jobs", jobs,
+                ]
+            )
+            assert rc == 0
+        serial = json.loads((serial_dir / "fig9-nltcs-count.json").read_text())
+        pooled = json.loads((pooled_dir / "fig9-nltcs-count.json").read_text())
+        assert serial == pooled
