@@ -1,0 +1,169 @@
+"""Score-F kernel micro-benchmark: per-candidate DP vs batched kernel.
+
+Times the Section 4.4 ``F`` computation on ``|dom(Π)| > 12`` candidate
+batches drawn from NLTCS contingencies — the exact shapes the greedy
+θ-usefulness regimes score — comparing the per-candidate dynamic program
+(:func:`repro.core.score_kernels.score_F_dp`, the seed implementation)
+against the blocked-bitset batched kernel
+(:func:`repro.core.score_kernels.score_F_batch`).  Both must be
+bit-identical on every candidate; the kernel must clear
+``MIN_KERNEL_SPEEDUP`` on at least one grid cell (the small-n / wide-domain
+cells, where the DP's per-candidate Python overhead dominates, run 5-15x;
+the n=8000 cells run ~1.5-2.5x because the per-candidate frontier there is
+large enough that the DP is already cache-resident compute).
+
+Also times the previously-stalling workload end to end: one NLTCS n=8000
+binary-mode release whose θ-usefulness degree gives 32-cell parent domains
+(the ROADMAP "θ-mode stalls at n >= 8000" item) and asserts it completes
+within ``SLICE_BUDGET_SECONDS``.
+
+Emits ``BENCH_scoreF.json`` next to this file:
+
+    PYTHONPATH=src python -m pytest benchmarks/test_bench_scoreF.py -q
+"""
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.privbayes import PrivBayes
+from repro.core.score_kernels import score_F_batch, score_F_dp
+from repro.core.scoring import ScoringCache
+from repro.core.theta import choose_k_binary
+from repro.data.marginals import flatten_index
+from repro.datasets import load_dataset
+
+from conftest import report
+
+RESULTS_JSON = Path(__file__).parent / "BENCH_scoreF.json"
+
+#: (n, parent width, number of parent sets) — parent domain is 2^width.
+GRID = (
+    (500, 6, 12),
+    (500, 8, 6),
+    (2000, 5, 16),
+    (2000, 8, 6),
+    (8000, 5, 16),
+    (8000, 8, 6),
+)
+
+#: The kernel must beat the per-candidate DP by at least this factor on
+#: some |dom(Π)| > 12 batch of the grid.
+MIN_KERNEL_SPEEDUP = 5.0
+
+#: Hard completion budget for the formerly-stalling n=8000 θ-mode release.
+SLICE_BUDGET_SECONDS = 600.0
+
+
+def _candidate_batch(n, width, n_sets, seed=1):
+    """Stacked NLTCS contingency matrices for (child | parent set) pairs."""
+    table = load_dataset("nltcs", n=n, seed=0)
+    names = list(table.attribute_names)
+    rng = np.random.default_rng(seed)
+    matrices = []
+    for _ in range(n_sets):
+        combo = list(rng.choice(names, size=width, replace=False))
+        columns = np.stack([table.column(c) for c in combo], axis=1)
+        parent_flat = flatten_index(columns, [2] * width)
+        for child in names:
+            if child in combo:
+                continue
+            flat = parent_flat * 2 + table.column(child)
+            matrices.append(
+                np.bincount(flat, minlength=2 ** (width + 1))
+                .reshape(-1, 2)
+                .astype(np.int64)
+            )
+    return np.stack(matrices), table.n
+
+
+def test_scoreF_kernel_benchmark():
+    rows = []
+    for n, width, n_sets in GRID:
+        matrices, actual_n = _candidate_batch(n, width, n_sets)
+        count = matrices.shape[0]
+
+        start = time.perf_counter()
+        reference = np.array(
+            [score_F_dp(m.reshape(-1), actual_n) for m in matrices]
+        )
+        dp_seconds = time.perf_counter() - start
+
+        score_F_batch(matrices[:4], actual_n)  # warm the mask cache
+        start = time.perf_counter()
+        kernel = score_F_batch(matrices, actual_n)
+        kernel_seconds = time.perf_counter() - start
+
+        # The kernel is a pure optimization: bit-identical scores.
+        assert np.array_equal(kernel, reference)
+        rows.append(
+            {
+                "n": actual_n,
+                "parent_cells": 2 ** width,
+                "count": count,
+                "dp_seconds": round(dp_seconds, 4),
+                "kernel_seconds": round(kernel_seconds, 4),
+                "speedup": round(dp_seconds / kernel_seconds, 2),
+            }
+        )
+
+    best = max(row["speedup"] for row in rows)
+    assert best >= MIN_KERNEL_SPEEDUP, rows
+
+    # ------------------------------------------------------------------
+    # The formerly-stalling sweep slice: one n=8000 binary-F release whose
+    # θ-chosen degree pushes parent domains past the enumeration threshold.
+    # ------------------------------------------------------------------
+    epsilon, beta, theta = 1.6, 0.3, 4.0
+    table = load_dataset("nltcs", n=8000, seed=0)
+    k = choose_k_binary(table.n, table.d, (1 - beta) * epsilon, theta)
+    assert 2 ** k > 12, "slice must exercise the blocked kernel"
+    start = time.perf_counter()
+    synthetic = PrivBayes(
+        epsilon=epsilon, beta=beta, theta=theta, score="F", mode="binary"
+    ).fit_sample(
+        table, rng=np.random.default_rng(97), scoring_cache=ScoringCache()
+    )
+    slice_seconds = time.perf_counter() - start
+    assert synthetic.n == table.n
+    assert slice_seconds < SLICE_BUDGET_SECONDS
+
+    payload = {
+        "description": (
+            "Per-candidate Section-4.4 DP vs blocked-bitset batched kernel "
+            "on NLTCS contingency batches, plus the previously-stalling "
+            "n=8000 theta-mode release"
+        ),
+        "grid": rows,
+        "min_speedup_asserted": MIN_KERNEL_SPEEDUP,
+        "best_speedup": best,
+        "theta_slice": {
+            "dataset": "nltcs",
+            "n": table.n,
+            "epsilon": epsilon,
+            "beta": beta,
+            "theta": theta,
+            "k": k,
+            "parent_cells": 2 ** k,
+            "seconds": round(slice_seconds, 2),
+            "budget_seconds": SLICE_BUDGET_SECONDS,
+            "completed": True,
+        },
+    }
+    RESULTS_JSON.write_text(json.dumps(payload, indent=2) + "\n")
+
+    lines = ["scoreF kernel: per-candidate DP vs blocked-bitset batch"]
+    for row in rows:
+        lines.append(
+            f"  n={row['n']:5d} cells={row['parent_cells']:4d} "
+            f"count={row['count']:4d}  dp={row['dp_seconds'] * 1e3:7.1f}ms  "
+            f"kernel={row['kernel_seconds'] * 1e3:7.1f}ms  "
+            f"{row['speedup']:.1f}x"
+        )
+    lines.append(
+        f"  theta slice (n=8000, k={k}, {2 ** k} cells): "
+        f"{slice_seconds:.1f}s (budget {SLICE_BUDGET_SECONDS:.0f}s)"
+    )
+    report("\n".join(lines))

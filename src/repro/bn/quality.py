@@ -13,10 +13,14 @@ from typing import Dict, List, Sequence, Tuple
 import numpy as np
 
 from repro.bn.network import BayesianNetwork
+from repro.core.score_kernels import score_I_batch
 from repro.data.marginals import (
     domain_size,
+    ensure_int64_domain,
     flatten_index,
     joint_distribution,
+    segments_by_size,
+    stacked_joint_counts,
     unflatten_index,
 )
 from repro.data.table import Table
@@ -82,6 +86,26 @@ class ParentIndexCache:
         return self._flat[parents]
 
 
+def _flatten_generalized_parents(
+    table: Table, parents: Sequence[Tuple[str, int]]
+) -> Tuple[np.ndarray, List[int]]:
+    """Per-row parent configuration codes and sizes for a (possibly
+    generalized) parent set — the uncached counterpart of
+    :meth:`ParentIndexCache.flat`, shared by every joint builder in this
+    module so the flattening semantics cannot drift between them."""
+    columns: List[np.ndarray] = []
+    sizes: List[int] = []
+    for name, level in parents:
+        codes, size = generalized_codes(table, name, level)
+        columns.append(codes)
+        sizes.append(size)
+    if columns:
+        flat = flatten_index(np.stack(columns, axis=1), sizes)
+    else:
+        flat = np.zeros(table.n, dtype=np.int64)
+    return flat, sizes
+
+
 def pair_joint_distribution(
     table: Table,
     child: str,
@@ -89,20 +113,65 @@ def pair_joint_distribution(
 ) -> Tuple[np.ndarray, int]:
     """Empirical ``Pr[Π, X]`` (child innermost) for a possibly generalized
     parent set.  Returns the flat joint and the child domain size."""
-    columns: List[np.ndarray] = []
-    sizes: List[int] = []
-    for name, level in parents:
-        codes, size = generalized_codes(table, name, level)
-        columns.append(codes)
-        sizes.append(size)
+    parent_flat, sizes = _flatten_generalized_parents(table, parents)
     child_attr = table.attribute(child)
-    columns.append(table.column(child))
-    sizes.append(child_attr.size)
-    total = domain_size(sizes)
-    flat = flatten_index(np.stack(columns, axis=1), sizes)
+    total = ensure_int64_domain(
+        domain_size(sizes + [child_attr.size]), "pair joint domain"
+    )
+    flat = parent_flat * child_attr.size + table.column(child)
     counts = np.bincount(flat, minlength=total).astype(float)
     joint = counts / counts.sum() if counts.sum() > 0 else counts
     return joint, child_attr.size
+
+
+def pair_group_mutual_information(
+    table: Table,
+    parents: Sequence[Tuple[str, int]],
+    children: Sequence[str],
+) -> List[float]:
+    """``I(child, Π)`` for every child sharing one (generalized) parent set.
+
+    The parent configuration is flattened once, all children's joints are
+    counted in one stacked ``np.bincount`` pass, and the mutual
+    informations come from the batched kernel
+    (:func:`repro.core.score_kernels.score_I_batch`) — each value bit-equal
+    to ``mutual_information(*pair_joint_distribution(...))`` on the same
+    pair.  This is the batched core under both
+    :func:`network_mutual_information` and
+    :meth:`repro.core.scoring.MutualInformationCache.pair_mi_batch`.
+    """
+    parent_flat, sizes = _flatten_generalized_parents(table, parents)
+    parent_dom = domain_size(sizes)
+    child_sizes = [table.attribute(c).size for c in children]
+    block, offsets, lengths = stacked_joint_counts(
+        parent_flat, parent_dom,
+        [table.column(c) for c in children], child_sizes,
+    )
+    values: Dict[int, float] = {}
+    for child_size, members in segments_by_size(
+        child_sizes, offsets, lengths
+    ).items():
+        stack = np.stack(
+            [block[o : o + l] for _, o, l in members]
+        ).astype(float)
+        totals = stack.reshape(len(members), -1).sum(axis=1)
+        live: List[int] = []
+        for position, (index, _, _) in enumerate(members):
+            if totals[position] > 0:
+                live.append(position)
+            else:
+                # Empty table: pair_joint_distribution leaves the all-zero
+                # vector unnormalized; score it through the same function.
+                values[index] = mutual_information(
+                    stack[position].reshape(-1), child_size
+                )
+        if live:
+            joints = (
+                stack[live] / totals[live, None]
+            ).reshape(len(live), parent_dom, child_size)
+            for position, value in zip(live, score_I_batch(joints, child_size)):
+                values[members[position][0]] = float(value)
+    return [values[i] for i in range(len(children))]
 
 
 def network_mutual_information(
@@ -110,22 +179,37 @@ def network_mutual_information(
 ) -> float:
     """``sum_i I(X_i, Π_i)`` of the network on the empirical distribution.
 
-    ``mi_cache`` is an optional
+    AP pairs sharing a parent set are measured together through
+    :func:`pair_group_mutual_information` (bit-equal to the pair-by-pair
+    path, summed in network order).  ``mi_cache`` is an optional
     :class:`~repro.core.scoring.MutualInformationCache` (duck-typed to keep
     this module import-light); pass one when scoring many networks over the
     same table so repeated AP pairs are measured once.
     """
     if mi_cache is not None and mi_cache.table is not table:
         raise ValueError("mi_cache was built for a different table")
+    groups: Dict[Tuple, List[str]] = {}
+    for pair in network:
+        if pair.parents:
+            groups.setdefault(pair.parents, []).append(pair.child)
+    pair_values: Dict[Tuple, float] = {}
+    for parents, children in groups.items():
+        if mi_cache is not None:
+            mi_cache.pair_mi_batch(parents, children)
+            for child in children:
+                pair_values[(child, parents)] = mi_cache.pair_mi(
+                    child, parents
+                )
+        else:
+            for child, value in zip(
+                children,
+                pair_group_mutual_information(table, parents, children),
+            ):
+                pair_values[(child, parents)] = value
     total = 0.0
     for pair in network:
-        if not pair.parents:
-            continue
-        if mi_cache is not None:
-            total += mi_cache.pair_mi(pair.child, pair.parents)
-            continue
-        joint, child_size = pair_joint_distribution(table, pair.child, pair.parents)
-        total += mutual_information(joint, child_size)
+        if pair.parents:
+            total += pair_values[(pair.child, pair.parents)]
     return total
 
 

@@ -6,6 +6,14 @@ plain argmax in non-private mode, used by the NoPrivacy reference of
 Figure 4).  Algorithm 2 handles binary domains with a fixed degree ``k``;
 Algorithm 4 handles general domains, constraining candidates through
 θ-usefulness and (optionally) taxonomy generalization.
+
+Every round hands its whole candidate list to
+:meth:`CandidateScorer.score_batch` unconditionally — including the
+θ-usefulness regimes whose parent domains exceed the enumeration
+threshold: since the score-kernel layer (:mod:`repro.core.score_kernels`),
+large-domain ``F`` candidates run through the blocked-bitset batched DP
+instead of one per-candidate dynamic program each, so no domain size falls
+back to scalar scoring.
 """
 
 from __future__ import annotations

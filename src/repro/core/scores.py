@@ -16,16 +16,25 @@ Three score functions, matching Table 4 of the paper:
 All functions take the empirical joint ``Pr[Π, X]`` as a flat vector with
 the child attribute innermost (the layout produced by
 :func:`repro.data.marginals.marginal_counts` with the child listed last).
+
+These are thin per-candidate wrappers over the batched kernels of
+:mod:`repro.core.score_kernels` — each delegates with a batch of one, so a
+scalar call returns exactly the float the batched engine produces for the
+same candidate.  :func:`score_F_bruteforce` stays here as the independent
+exponential-time test oracle.
 """
 
 from __future__ import annotations
 
 import math
-from typing import List, Tuple
 
 import numpy as np
 
-from repro.infotheory.measures import mutual_information
+from repro.core.score_kernels import (
+    score_F_batch,
+    score_I_batch,
+    score_R_batch,
+)
 
 # ---------------------------------------------------------------------------
 # Mutual information I and its sensitivity (Lemma 4.1)
@@ -34,7 +43,8 @@ from repro.infotheory.measures import mutual_information
 
 def score_I(joint: np.ndarray, child_size: int) -> float:
     """Mutual information score (Section 4.2)."""
-    return mutual_information(joint, child_size)
+    flat = np.asarray(joint, dtype=float).reshape(-1)
+    return float(score_I_batch(flat, child_size)[0])
 
 
 def sensitivity_I(n: int, binary: bool) -> float:
@@ -58,26 +68,8 @@ def sensitivity_I(n: int, binary: bool) -> float:
 # ---------------------------------------------------------------------------
 
 
-def _pareto_prune(a: np.ndarray, b: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
-    """Keep only non-dominated (a, b) states (Definition 4.6), vectorized.
-
-    Sorts by ``a`` descending / ``b`` descending and keeps states whose
-    ``b`` strictly exceeds every ``b`` seen at a larger-or-equal ``a``.
-    """
-    order = np.lexsort((-b, -a))
-    a = a[order]
-    b = b[order]
-    best_b = np.maximum.accumulate(b)
-    # A state survives when its b sets a new running maximum (ties resolved
-    # by keeping the first occurrence, i.e. the one with the largest a).
-    keep = np.empty(b.size, dtype=bool)
-    keep[0] = True
-    keep[1:] = b[1:] > best_b[:-1]
-    return a[keep], b[keep]
-
-
 def score_F(joint_counts: np.ndarray, n: int) -> float:
-    """Exact ``F(X, Π)`` for a binary child via the Section 4.4 DP.
+    """Exact ``F(X, Π)`` for a binary child (Sections 4.3-4.4).
 
     Parameters
     ----------
@@ -90,34 +82,15 @@ def score_F(joint_counts: np.ndarray, n: int) -> float:
 
     Returns the (non-positive) score
     ``F = -min_{Pr⋄} ||Pr - Pr⋄||_1 / 2`` over all maximum joint
-    distributions ``Pr⋄`` (Equation 7), evaluated through the reachable
+    distributions ``Pr⋄`` (Equation 7), evaluated over the reachable
     ``(K0, K1)`` mass states of Equation 10 with dominated-state pruning
-    (Definition 4.6) — ``O(n · |dom(Π)|)`` overall.
+    (Definition 4.6).  Delegates to the batched kernel
+    (:func:`repro.core.score_kernels.score_F_batch`) with a batch of one;
+    the per-candidate dynamic program survives as
+    :func:`repro.core.score_kernels.score_F_dp`, the kernel's oracle.
     """
-    counts = np.asarray(joint_counts)
-    if counts.size % 2 != 0:
-        raise ValueError("F requires a binary child (even-length joint)")
-    matrix = counts.reshape(-1, 2)
-    int_matrix = np.rint(matrix).astype(np.int64)
-    if not np.allclose(matrix, int_matrix):
-        raise ValueError("F expects integer contingency counts")
-    total = int(int_matrix.sum())
-    if total != n:
-        raise ValueError(f"counts sum to {total}, expected n={n}")
-    if n == 0:
-        return -0.5
-    # Each column π contributes its X=0 count to K0 or its X=1 count to K1
-    # (Equation 10).  Masses at or above n/2 saturate the objective, so
-    # coordinates are capped there to bound the frontier size.
-    cap = (n + 1) // 2
-    a = np.zeros(1, dtype=np.int64)
-    b = np.zeros(1, dtype=np.int64)
-    for c0, c1 in int_matrix:
-        new_a = np.concatenate([np.minimum(a + int(c0), cap), a])
-        new_b = np.concatenate([b, np.minimum(b + int(c1), cap)])
-        a, b = _pareto_prune(new_a, new_b)
-    shortfall = np.maximum(0.0, 0.5 - a / n) + np.maximum(0.0, 0.5 - b / n)
-    return -float(shortfall.min())
+    flat = np.asarray(joint_counts).reshape(-1)
+    return float(score_F_batch(flat, n)[0])
 
 
 def score_F_bruteforce(joint_counts: np.ndarray, n: int) -> float:
@@ -166,12 +139,8 @@ def score_R(joint: np.ndarray, child_size: int) -> float:
     ``R ≤ sqrt(I * ln2 / 2)``, so large ``R`` witnesses large mutual
     information.
     """
-    joint = np.asarray(joint, dtype=float)
-    matrix = joint.reshape(-1, child_size)
-    parent = matrix.sum(axis=1, keepdims=True)
-    child = matrix.sum(axis=0, keepdims=True)
-    independent = parent @ child
-    return float(0.5 * np.abs(matrix - independent).sum())
+    flat = np.asarray(joint, dtype=float).reshape(-1)
+    return float(score_R_batch(flat, child_size)[0])
 
 
 def sensitivity_R(n: int) -> float:

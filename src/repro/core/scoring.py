@@ -23,6 +23,12 @@ All caches are keyed on *values derived deterministically from the table*:
   computed in one batched ``np.bincount`` pass over the cached flattened
   parent index instead of one pass per candidate.  Counts are integers, so
   batching is exact.
+* Scoring itself happens in the batched kernels of
+  :mod:`repro.core.score_kernels`: ``I``/``R`` per parent-set group, and
+  ``F`` across *all* groups of a round sharing a parent-domain size — the
+  blocked-bitset kernel handles every domain size, so no candidate ever
+  falls back to a per-candidate dynamic program.  Kernels are bit-equal to
+  the scalar score functions on every candidate.
 * ``MutualInformationCache`` memoizes empirical mutual information per
   ``(child, parents)`` for the non-private reference searches
   (:mod:`repro.bn.structure_search`) and the Figure 4 quality metric.
@@ -45,11 +51,17 @@ mutated (tables are treated as immutable everywhere in this codebase).
 
 from __future__ import annotations
 
-from typing import Dict, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
 
 from repro.core.parent_sets import ParentSetCache, parent_set_domain_size
+from repro.core.score_kernels import (
+    DEFAULT_ENUM_MAX_CELLS,
+    score_F_batch,
+    score_I_batch,
+    score_R_batch,
+)
 from repro.core.scores import (
     score_F,
     score_I,
@@ -61,6 +73,7 @@ from repro.core.scores import (
 from repro.data.marginals import (
     domain_size,
     ensure_int64_domain,
+    segments_by_size,
     stacked_joint_counts,
 )
 from repro.data.table import Table
@@ -71,13 +84,6 @@ from repro.infotheory.measures import (
 
 #: A candidate is a child attribute plus a (possibly generalized) parent set.
 Candidate = Tuple[str, Tuple[Tuple[str, int], ...]]
-
-#: Largest parent domain for which batched ``F`` uses direct enumeration of
-#: all ``2^|dom(Π)|`` column assignments (4096 masks) instead of the
-#: per-candidate dynamic program.  Both compute the same minimum over the
-#: same assignment set, so the scores are bit-identical (see Section 4.4:
-#: the DP's pruned state frontier is exactly the image of the assignments).
-_F_ENUM_MAX_CELLS = 12
 
 
 def _score_sensitivity(
@@ -107,6 +113,10 @@ class CandidateScorer:
         contingency pass — every call recomputes from scratch (the seed
         behavior).  Kept as the reference for the structure-search
         benchmark; production callers never need it.
+    f_enum_max_cells:
+        Enumeration/DP crossover forwarded to the ``F`` kernel (see
+        :data:`repro.core.score_kernels.DEFAULT_ENUM_MAX_CELLS`).  Any
+        value yields bit-identical scores; only speed changes.
     """
 
     def __init__(
@@ -115,6 +125,7 @@ class CandidateScorer:
         score: str,
         incremental: bool = True,
         parent_index=None,
+        f_enum_max_cells: int = DEFAULT_ENUM_MAX_CELLS,
     ) -> None:
         if score not in ("I", "F", "R"):
             raise ValueError(f"unknown score function {score!r}")
@@ -127,7 +138,7 @@ class CandidateScorer:
         self.table = table
         self.score = score
         self.incremental = incremental
-        self._f_masks: Dict[int, Tuple[np.ndarray, np.ndarray]] = {}
+        self.f_enum_max_cells = f_enum_max_cells
         #: Per-row flattened parent configurations; shareable with the
         #: distribution learner's JointCounter (via ScoringCache) so parent
         #: sets selected during structure search are never re-flattened.
@@ -206,43 +217,10 @@ class CandidateScorer:
 
     __call__ = score_candidate
 
-    def _f_enum_masks(self, parent_dom: int) -> Tuple[np.ndarray, np.ndarray]:
-        """All ``2^parent_dom`` column-assignment masks (and complements)."""
-        if parent_dom not in self._f_masks:
-            indices = np.arange(1 << parent_dom, dtype=np.int64)
-            masks = (
-                (indices[:, None] >> np.arange(parent_dom, dtype=np.int64)) & 1
-            )
-            self._f_masks[parent_dom] = (masks, 1 - masks)
-        return self._f_masks[parent_dom]
-
-    def _score_F_group(
-        self, block: np.ndarray, parent_dom: int, count: int
-    ) -> np.ndarray:
-        """Vectorized exact ``F`` for ``count`` binary children at once.
-
-        Enumerates every assignment of parent cells to ``Z⁺₀ / Z⁺₁``
-        (Equation 10) with one matmul per side, replacing ``count``
-        independent dynamic programs.  The DP minimizes the identical
-        objective over the identical assignment set, so each score comes
-        out bit-equal to :func:`repro.core.scores.score_F`.
-        """
-        n = self.table.n
-        if n == 0:
-            return np.full(count, -0.5)
-        matrices = block.reshape(count, parent_dom, 2)
-        masks, complements = self._f_enum_masks(parent_dom)
-        k0 = masks @ matrices[:, :, 0].T  # (2^P, count)
-        k1 = complements @ matrices[:, :, 1].T
-        shortfall = np.maximum(0.0, 0.5 - k0 / n) + np.maximum(
-            0.0, 0.5 - k1 / n
-        )
-        return -shortfall.min(axis=0)
-
-    def _score_group(
+    def _group_counts(
         self, parents: Tuple[Tuple[str, int], ...], children: Sequence[str]
-    ) -> None:
-        """Score every listed child against one parent set in a single pass.
+    ):
+        """One batched contingency pass for every child of one parent set.
 
         Stacks the per-child flattened joints into one ``np.bincount`` over
         offset-shifted indices; the resulting integer count segments are
@@ -251,37 +229,85 @@ class CandidateScorer:
         """
         parent_flat, parent_dom = self._parent_index(parents)
         sizes = [self.table.attribute(c).size for c in children]
-        if self.score == "F":
-            for child, child_size in zip(children, sizes):
-                if child_size != 2:
-                    raise ValueError(
-                        f"score 'F' requires a binary child; {child!r} has "
-                        f"{child_size} values"
-                    )
         block, offsets, lengths = stacked_joint_counts(
             parent_flat,
             parent_dom,
             [self.table.column(c) for c in children],
             sizes,
         )
-        if self.score == "F" and parent_dom <= _F_ENUM_MAX_CELLS:
-            scores = self._score_F_group(block, parent_dom, len(children))
-            for child, value in zip(children, scores):
-                self._score_memo[(child, parents)] = float(value)
-            return
-        for child, child_size, offset, length in zip(
-            children, sizes, offsets, lengths
-        ):
-            counts = block[offset : offset + length].astype(float)
-            self._score_memo[(child, parents)] = self._score_from_counts(
-                child, counts, child_size
+        return parent_dom, sizes, block, offsets, lengths
+
+    def _score_group(
+        self, parents: Tuple[Tuple[str, int], ...], children: Sequence[str]
+    ) -> None:
+        """Score every listed child against one parent set (``I``/``R``).
+
+        Children are stacked by domain size and handed to the batched
+        kernels; the kernels are bit-equal to the scalar score functions on
+        each candidate's joint.
+        """
+        parent_dom, sizes, block, offsets, lengths = self._group_counts(
+            parents, children
+        )
+        n = self.table.n
+        kernel = score_I_batch if self.score == "I" else score_R_batch
+        for child_size, members in segments_by_size(
+            sizes, offsets, lengths
+        ).items():
+            stack = np.stack(
+                [block[o : o + l] for _, o, l in members]
+            ).astype(float)
+            joints = (stack / n if n else stack).reshape(
+                len(members), parent_dom, child_size
             )
+            values = kernel(joints, child_size)
+            for (position, _, _), value in zip(members, values):
+                self._score_memo[(children[position], parents)] = float(value)
+
+    def _score_F_groups(
+        self, groups: Dict[Tuple, Sequence[str]]
+    ) -> None:
+        """Score all unscored ``F`` candidates of a round in batched kernels.
+
+        Counting stays per parent set (each set has its own flattened row
+        index), but scoring batches *across* parent sets: every candidate
+        whose parent set has the same domain size joins one
+        :func:`repro.core.score_kernels.score_F_batch` call, so a greedy
+        round costs a handful of kernel invocations instead of one dynamic
+        program per candidate.
+        """
+        n = self.table.n
+        by_dom: Dict[int, Tuple[List[Candidate], List[np.ndarray]]] = {}
+        for parents, children in groups.items():
+            for child in children:
+                if self.table.attribute(child).size != 2:
+                    raise ValueError(
+                        f"score 'F' requires a binary child; {child!r} has "
+                        f"{self.table.attribute(child).size} values"
+                    )
+            parent_dom, _, block, offsets, lengths = self._group_counts(
+                parents, children
+            )
+            cands, segments = by_dom.setdefault(parent_dom, ([], []))
+            for child, offset, length in zip(children, offsets, lengths):
+                cands.append((child, parents))
+                segments.append(block[offset : offset + length])
+        for parent_dom, (cands, segments) in by_dom.items():
+            matrices = np.stack(segments).reshape(len(cands), parent_dom, 2)
+            values = score_F_batch(
+                matrices, n, enum_max_cells=self.f_enum_max_cells
+            )
+            for cand, value in zip(cands, values):
+                self._score_memo[cand] = float(value)
 
     def score_batch(self, candidates: Sequence[Candidate]) -> np.ndarray:
         """Scores for a candidate list, computing only the unscored ones.
 
-        Unscored candidates are grouped by parent set and each group is
-        scored in one vectorized contingency pass.
+        Unscored candidates are grouped by parent set and counted in one
+        vectorized contingency pass per group; ``F`` candidates are then
+        scored across groups in one kernel call per parent-domain size —
+        every domain size goes through the batched kernel, small and large
+        alike.
         """
         if not self.incremental:
             return np.array(
@@ -291,8 +317,14 @@ class CandidateScorer:
         for child, parents in candidates:
             if (child, parents) not in self._score_memo:
                 groups.setdefault(parents, {})[child] = None
-        for parents, children in groups.items():
-            self._score_group(parents, list(children))
+        if self.score == "F":
+            if groups:
+                self._score_F_groups(
+                    {parents: list(children) for parents, children in groups.items()}
+                )
+        else:
+            for parents, children in groups.items():
+                self._score_group(parents, list(children))
         return np.array([self._score_memo[cand] for cand in candidates])
 
     # ------------------------------------------------------------------
@@ -367,6 +399,48 @@ class MutualInformationCache:
                 self.table, child, list(parents)
             )
         return self._mi[key]
+
+    def mi_batch(self, parent: str, children: Sequence[str]) -> None:
+        """Prime the memo with ``I(child, (parent,))`` for many children.
+
+        One stacked contingency pass over the table plus one batched kernel
+        call per child-domain size, instead of one table scan per pair.
+        Values are bit-equal to what :meth:`mi` computes pair by pair (a
+        raw parent is a level-0 generalized parent with the identical count
+        layout and normalization), so priming changes no downstream float.
+        """
+        # Lazy import: bn.quality is above this module in the import order.
+        from repro.bn.quality import pair_group_mutual_information
+
+        missing = [c for c in children if (c, (parent,)) not in self._mi]
+        if not missing:
+            return
+        values = pair_group_mutual_information(
+            self.table, ((parent, 0),), missing
+        )
+        for child, value in zip(missing, values):
+            self._mi[(child, (parent,))] = float(value)
+
+    def pair_mi_batch(
+        self, parents: Sequence[Tuple[str, int]], children: Sequence[str]
+    ) -> None:
+        """Prime the generalized-pair memo for many children of one parent
+        set, through the same batched counting + ``I`` kernel path as
+        :mod:`repro.bn.quality` (bit-equal to :meth:`pair_mi` per pair)."""
+        # Lazy import: bn.quality is above this module in the import order.
+        from repro.bn.quality import pair_group_mutual_information
+
+        key_parents = tuple(parents)
+        missing = [
+            c for c in children if (c, key_parents) not in self._pair_mi
+        ]
+        if not missing:
+            return
+        values = pair_group_mutual_information(
+            self.table, key_parents, missing
+        )
+        for child, value in zip(missing, values):
+            self._pair_mi[(child, key_parents)] = float(value)
 
     def pair_mi(
         self, child: str, parents: Sequence[Tuple[str, int]]

@@ -115,6 +115,26 @@ def stacked_joint_counts(
     return block, offsets, lengths
 
 
+def segments_by_size(
+    sizes: Sequence[int],
+    offsets: Sequence[int],
+    lengths: Sequence[int],
+) -> "dict[int, list[Tuple[int, int, int]]]":
+    """Group a :func:`stacked_joint_counts` layout by child-domain size.
+
+    Returns ``{child_size: [(position, offset, length), ...]}`` so callers
+    can stack the equal-shape count segments of each group into one
+    rectangular batch for the score kernels.  ``position`` indexes the
+    original child order.
+    """
+    groups: "dict[int, list[Tuple[int, int, int]]]" = {}
+    for position, (size, offset, length) in enumerate(
+        zip(sizes, offsets, lengths)
+    ):
+        groups.setdefault(int(size), []).append((position, offset, length))
+    return groups
+
+
 def marginal_counts(table: Table, names: Sequence[str]) -> np.ndarray:
     """Contingency counts of the named attributes as a flat vector.
 

@@ -42,24 +42,28 @@ class TestMemoization:
             assert np.array_equal(scores, reference)  # bit-identical
 
     def test_each_candidate_scored_once(self, binary_table, monkeypatch):
+        """The kernel sees each candidate exactly once across all rounds."""
+        import repro.core.scoring as scoring_module
+
         scorer = CandidateScorer(binary_table, "I")
-        calls = []
-        original = CandidateScorer._score_from_counts
+        scored = []
+        original = scoring_module.score_I_batch
 
-        def counting(self, child, counts, child_size):
-            calls.append((child, child_size))
-            return original(self, child, counts, child_size)
+        def counting(joints, child_size):
+            values = original(joints, child_size)
+            scored.extend(range(values.size))
+            return values
 
-        monkeypatch.setattr(CandidateScorer, "_score_from_counts", counting)
+        monkeypatch.setattr(scoring_module, "score_I_batch", counting)
         rounds = _fixed_k_candidates(binary_table)
         for candidates in rounds:
             scorer.score_batch(candidates)
         unique = {cand for candidates in rounds for cand in candidates}
-        assert len(calls) == len(unique)
+        assert len(scored) == len(unique)
         # Re-scoring every round is free.
         for candidates in rounds:
             scorer.score_batch(candidates)
-        assert len(calls) == len(unique)
+        assert len(scored) == len(unique)
 
     def test_non_incremental_mode_recomputes(self, binary_table):
         scorer = CandidateScorer(binary_table, "R", incremental=False)
