@@ -1,0 +1,79 @@
+"""Checked-in baseline of grandfathered findings.
+
+A baseline lets the analyzer land with a non-empty repo without a flag-day
+cleanup: findings matching a baseline entry are reported as ``baselined``
+and do not fail the run.  Entries key on
+``path::rule::crc32(stripped line text)`` so they survive pure line-number
+drift (code moving up/down) but expire the moment the flagged line itself
+changes — grandfathering never outlives an edit to the offending code.
+
+The repo's checked-in ``analysis_baseline.json`` is intentionally empty:
+the self-hosting refactor cleared every finding.  The mechanism stays for
+future rules that land faster than their cleanup.
+"""
+
+from __future__ import annotations
+
+import json
+import zlib
+from dataclasses import replace
+from pathlib import Path
+from typing import Dict, Iterable, List
+
+from repro.analysis.rules import Finding
+
+BASELINE_SCHEMA_VERSION = 1
+
+
+def finding_fingerprint(path: str, rule: str, line_text: str) -> str:
+    """Stable content key: survives reordering, expires on edits."""
+    digest = zlib.crc32(line_text.strip().encode("utf-8"))
+    return f"{path.replace(chr(92), '/')}::{rule}::{digest:08x}"
+
+
+def load_baseline(path: Path) -> Dict[str, int]:
+    """Entry-count map from a baseline file; empty when absent."""
+    if not path.is_file():
+        return {}
+    data = json.loads(path.read_text())
+    if data.get("schema_version") != BASELINE_SCHEMA_VERSION:
+        raise ValueError(
+            f"baseline {path} has schema_version "
+            f"{data.get('schema_version')!r}; expected "
+            f"{BASELINE_SCHEMA_VERSION} — regenerate with --write-baseline"
+        )
+    entries = data.get("entries", {})
+    return {str(key): int(count) for key, count in entries.items()}
+
+
+def write_baseline(path: Path, findings: Iterable[Finding]) -> Dict[str, int]:
+    """Persist the open findings as the new baseline; returns the entries."""
+    entries: Dict[str, int] = {}
+    for finding in findings:
+        if finding.status == "open":
+            entries[finding.fingerprint] = entries.get(finding.fingerprint, 0) + 1
+    payload = {
+        "schema_version": BASELINE_SCHEMA_VERSION,
+        "comment": (
+            "Grandfathered repro.analysis findings; keys are "
+            "path::rule::crc32(line). Regenerate with "
+            "`python -m repro.analysis ... --write-baseline`."
+        ),
+        "entries": dict(sorted(entries.items())),
+    }
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    return entries
+
+
+def apply_baseline(
+    findings: List[Finding], baseline: Dict[str, int]
+) -> List[Finding]:
+    """Mark findings covered by the baseline (consuming entry counts)."""
+    remaining = dict(baseline)
+    out: List[Finding] = []
+    for finding in findings:
+        if finding.status == "open" and remaining.get(finding.fingerprint, 0) > 0:
+            remaining[finding.fingerprint] -= 1
+            finding = replace(finding, status="baselined")
+        out.append(finding)
+    return out

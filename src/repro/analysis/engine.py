@@ -1,0 +1,194 @@
+"""Analysis engine: file discovery, rule execution, suppression, reporting."""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, replace
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.analysis.baseline import apply_baseline, finding_fingerprint
+from repro.analysis.cache import ResultCache, content_digest, rules_signature
+from repro.analysis.pragmas import pragma_for, scan_pragmas
+from repro.analysis.rules import (
+    ANALYZER_VERSION,
+    BAD_PRAGMA_RULE,
+    PARSE_ERROR_RULE,
+    Finding,
+    Rule,
+    default_rules,
+)
+
+#: Version of the JSON report layout; tests pin it.
+REPORT_SCHEMA_VERSION = 1
+
+_SKIP_DIR_NAMES = {"__pycache__", ".git", ".hypothesis", ".pytest_cache"}
+
+
+def iter_python_files(paths: Sequence[Path]) -> List[Path]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    out: List[Path] = []
+    for path in paths:
+        if path.is_dir():
+            for candidate in sorted(path.rglob("*.py")):
+                if not _SKIP_DIR_NAMES.intersection(candidate.parts):
+                    out.append(candidate)
+        elif path.suffix == ".py":
+            out.append(path)
+        else:
+            raise FileNotFoundError(f"not a python file or directory: {path}")
+    return out
+
+
+def analyze_source(
+    source: str,
+    path: str = "<string>",
+    rules: Optional[Sequence[Rule]] = None,
+) -> List[Finding]:
+    """Run all rules over one module's source, resolving pragmas.
+
+    Baseline matching is *not* applied here — it depends on an external
+    file; see :func:`analyze_paths`.
+    """
+    rules = list(default_rules()) if rules is None else list(rules)
+    lines = source.splitlines()
+
+    def _line_text(line: int) -> str:
+        return lines[line - 1] if 0 < line <= len(lines) else ""
+
+    def _make(rule_id: str, line: int, col: int, message: str) -> Finding:
+        text = _line_text(line)
+        return Finding(
+            rule=rule_id,
+            path=path,
+            line=line,
+            col=col,
+            message=message,
+            fingerprint=finding_fingerprint(path, rule_id, text),
+            snippet=text.strip()[:160],
+        )
+
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as exc:
+        return [
+            _make(
+                PARSE_ERROR_RULE,
+                exc.lineno or 1,
+                (exc.offset or 1) - 1,
+                f"file does not parse: {exc.msg}",
+            )
+        ]
+
+    pragmas, pragma_errors = scan_pragmas(source)
+    findings = [
+        _make(BAD_PRAGMA_RULE, line, col, message)
+        for line, col, message in pragma_errors
+    ]
+    for rule in rules:
+        if not rule.applies_to(path):
+            continue
+        for line, col, message in rule.check(tree, path):
+            findings.append(_make(rule.id, line, col, message))
+
+    resolved: List[Finding] = []
+    for finding in findings:
+        pragma = pragma_for(pragmas, finding.rule, finding.line)
+        if pragma is not None:
+            finding = replace(
+                finding,
+                status="suppressed",
+                justification=pragma.justification,
+            )
+        resolved.append(finding)
+    resolved.sort(key=Finding.sort_key)
+    return resolved
+
+
+@dataclass
+class AnalysisReport:
+    """Aggregated results of one analyzer run."""
+
+    findings: List[Finding]
+    files_scanned: int
+    paths: List[str]
+    rules: List[Rule]
+    cache_hits: int = 0
+    cache_misses: int = 0
+
+    def by_status(self, status: str) -> List[Finding]:
+        return [f for f in self.findings if f.status == status]
+
+    @property
+    def open_findings(self) -> List[Finding]:
+        return self.by_status("open")
+
+    @property
+    def exit_code(self) -> int:
+        return 1 if self.open_findings else 0
+
+    def to_json_dict(self) -> Dict:
+        return {
+            "schema_version": REPORT_SCHEMA_VERSION,
+            "analyzer_version": ANALYZER_VERSION,
+            "paths": list(self.paths),
+            "files_scanned": self.files_scanned,
+            "rules": [
+                {"id": rule.id, "title": rule.title} for rule in self.rules
+            ],
+            "counts": {
+                "open": len(self.by_status("open")),
+                "suppressed": len(self.by_status("suppressed")),
+                "baselined": len(self.by_status("baselined")),
+            },
+            "findings": [f.to_dict() for f in self.findings],
+        }
+
+
+def analyze_paths(
+    paths: Sequence[Path],
+    rules: Optional[Sequence[Rule]] = None,
+    cache: Optional[ResultCache] = None,
+    baseline: Optional[Dict[str, int]] = None,
+    root: Optional[Path] = None,
+) -> AnalysisReport:
+    """Analyze every ``.py`` file under ``paths``.
+
+    Paths in findings are rendered relative to ``root`` (default: the
+    current directory) with posix separators, so reports, baselines and
+    caches are machine-independent.
+    """
+    rules = list(default_rules()) if rules is None else list(rules)
+    root = Path.cwd() if root is None else root
+    signature = rules_signature(rules)
+    files = iter_python_files([Path(p) for p in paths])
+    findings: List[Finding] = []
+    for file_path in files:
+        try:
+            rel = file_path.resolve().relative_to(root.resolve())
+            shown = rel.as_posix()
+        except ValueError:
+            shown = file_path.as_posix()
+        data = file_path.read_bytes()
+        digest = content_digest(data)
+        cached = (
+            cache.get(shown, digest, signature) if cache is not None else None
+        )
+        if cached is None:
+            cached = analyze_source(
+                data.decode("utf-8", errors="replace"), shown, rules
+            )
+            if cache is not None:
+                cache.put(shown, digest, signature, cached)
+        findings.extend(cached)
+    if baseline:
+        findings = apply_baseline(findings, baseline)
+    findings.sort(key=Finding.sort_key)
+    return AnalysisReport(
+        findings=findings,
+        files_scanned=len(files),
+        paths=[str(p) for p in paths],
+        rules=rules,
+        cache_hits=cache.hits if cache is not None else 0,
+        cache_misses=cache.misses if cache is not None else 0,
+    )

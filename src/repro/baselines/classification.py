@@ -20,7 +20,8 @@ from typing import Optional
 
 import numpy as np
 
-from repro.dp.mechanisms import exponential_mechanism, laplace_noise
+from repro.dp.accountant import split_epsilon_even
+from repro.dp.mechanisms import exponential_mechanism, laplace_noise, laplace_scale
 from repro.svm.linear import HuberSVM
 
 
@@ -42,7 +43,9 @@ class MajorityClassifier:
         if epsilon <= 0:
             raise ValueError("epsilon must be positive")
         positives = float(np.sum(y > 0))
-        noisy = positives + float(laplace_noise(1.0 / epsilon, 1, rng)[0])
+        noisy = positives + float(
+            laplace_noise(laplace_scale(1.0, epsilon), 1, rng)[0]
+        )
         self.majority = 1.0 if noisy > len(y) / 2.0 else -1.0
         return self
 
@@ -80,19 +83,21 @@ class PrivateERM:
         n, p = X.shape
         c = 1.0 / (2.0 * self.huber_h)
         lam = self.lam
+        # repro: allow[PRIV001] -- Chaudhuri et al. objective-perturbation calibration, not a budget split
         eps_prime = epsilon - math.log(
             1.0 + 2.0 * c / (n * lam) + (c * c) / (n * n * lam * lam)
         )
         if eps_prime > 0:
             delta = 0.0
         else:
+            # repro: allow[PRIV001] -- Chaudhuri et al. objective-perturbation calibration, not a budget split
             delta = c / (n * (math.exp(epsilon / 4.0) - 1.0)) - lam
-            eps_prime = epsilon / 2.0
+            eps_prime = epsilon / 2.0  # repro: allow[PRIV001] -- Chaudhuri et al. low-epsilon branch calibration
         # b has density ∝ exp(-ε'·||b|| / 2): direction uniform on the
         # sphere, norm ~ Gamma(p, 2/ε').
         direction = rng.standard_normal(p)
         direction /= np.linalg.norm(direction)
-        norm = rng.gamma(shape=p, scale=2.0 / eps_prime)
+        norm = rng.gamma(shape=p, scale=2.0 / eps_prime)  # repro: allow[PRIV001] -- perturbation-norm density parameter from the calibrated eps'
         b = norm * direction
         model = HuberSVM(lam=lam, huber_h=self.huber_h)
         model.fit(X, y, perturbation=b, extra_regularization=delta)
@@ -144,7 +149,7 @@ class PrivGene:
             raise ValueError("epsilon must be positive")
         n, p = X.shape
         selections = self.iterations * self.n_parents
-        eps_each = epsilon / selections
+        eps_each = split_epsilon_even(epsilon, selections)
         candidates = rng.standard_normal((self.population, p))
         candidates /= np.linalg.norm(candidates, axis=1, keepdims=True)
         mutation = self.initial_mutation

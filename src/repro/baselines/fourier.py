@@ -28,7 +28,11 @@ from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
 
-from repro.data.marginals import normalize_distribution, unflatten_index
+from repro.data.marginals import (
+    domain_size,
+    normalize_distribution,
+    unflatten_index,
+)
 from repro.data.table import Table
 from repro.dp.mechanisms import laplace_noise
 from repro.encoding.bitwise import BinaryEncoder, bits_needed
@@ -85,7 +89,9 @@ class FourierMarginals:
 
         # Noisy coefficients (one Laplace release of the whole family).
         n = max(table.n, 1)
-        scale = 2.0 * M / (n * epsilon)
+        # Fused single-release scale 2M/(n eps); kept as one expression so
+        # historical goldens stay bit-identical.
+        scale = 2.0 * M / (n * epsilon)  # repro: allow[PRIV001] -- fused Laplace scale for the whole coefficient family (sensitivity 2M/n)
         coefficients: Dict[Tuple[int, ...], float] = {}
         noise = laplace_noise(scale, M, rng)
         for idx, S in enumerate(subsets):
@@ -145,7 +151,7 @@ class FourierMarginals:
         valid = np.ones(2 ** m, dtype=bool)
         for idx, size in zip(indices, sizes):
             valid &= idx < size
-        flat = np.zeros(int(np.prod(sizes)))
+        flat = np.zeros(domain_size(sizes))
         target = np.zeros(2 ** m, dtype=np.int64)
         stride = 1
         for idx, size in zip(reversed(indices), reversed(sizes)):

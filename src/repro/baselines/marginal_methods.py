@@ -19,6 +19,7 @@ from repro.data.marginals import (
     project_distribution,
 )
 from repro.data.table import Table
+from repro.dp.accountant import split_epsilon_even
 from repro.dp.mechanisms import laplace_mechanism
 
 Workload = Sequence[Tuple[str, ...]]
@@ -45,7 +46,7 @@ class LaplaceMarginals:
         if epsilon <= 0:
             raise ValueError("epsilon must be positive")
         workload = [tuple(names) for names in workload]
-        share = epsilon / max(len(workload), 1)
+        share = split_epsilon_even(epsilon, max(len(workload), 1))
         released = {}
         for names in workload:
             counts = marginal_counts(table, names)

@@ -27,7 +27,8 @@ from repro.data.marginals import (
     project_distribution,
 )
 from repro.data.table import Table
-from repro.dp.mechanisms import exponential_mechanism, laplace_noise
+from repro.dp.accountant import split_epsilon_even
+from repro.dp.mechanisms import exponential_mechanism, laplace_noise, laplace_scale
 
 Workload = Sequence[Tuple[str, ...]]
 
@@ -79,8 +80,12 @@ class MWEM:
             ).astype(float)
             marginals.append((tuple(marginal_names), keep, counts))
 
-        rounds = max(1, min(self.max_rounds, int(round(epsilon / self.per_round_epsilon))))
-        eps_round = epsilon / rounds  # half for selection, half for measurement
+        # Round count only sizes the loop; the actual spend below flows
+        # through split_epsilon_even.
+        rounds = max(1, min(self.max_rounds, int(round(epsilon / self.per_round_epsilon))))  # repro: allow[PRIV001] -- ratio picks the round count, not a budget share
+        # Half of each round's share for selection, half for measurement.
+        eps_round = split_epsilon_even(epsilon, rounds)
+        eps_half = split_epsilon_even(eps_round, 2)
 
         A = np.full(total, float(n) / total)  # uniform synthetic histogram
         for _ in range(rounds):
@@ -98,13 +103,13 @@ class MWEM:
             chosen = exponential_mechanism(
                 np.asarray(scores),
                 sensitivity=1.0,  # one tuple moves one cell count by 1
-                epsilon=eps_round / 2.0,
+                epsilon=eps_half,
                 rng=rng,
             )
             j, cell = index[chosen]
             _, keep, counts = marginals[j]
             measurement = counts[cell] + float(
-                laplace_noise(2.0 / eps_round, 1, rng)[0]
+                laplace_noise(laplace_scale(1.0, eps_half), 1, rng)[0]
             )
             estimate = estimates[j][cell]
             # Multiplicative-weights update on the full histogram.

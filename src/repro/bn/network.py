@@ -10,6 +10,7 @@ level 0 meaning the raw attribute.
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass
 from typing import Dict, List, Sequence, Tuple
 
@@ -133,7 +134,32 @@ class BayesianNetwork:
         return isinstance(other, BayesianNetwork) and self._pairs == other._pairs
 
     def __hash__(self) -> int:
+        # In-process dict/set keys ONLY: the tuple hash recurses into the
+        # attribute-name strings, whose hashes are PYTHONHASHSEED-salted, so
+        # this value differs between interpreter processes.  Anything
+        # crossing a process boundary (cache keys on disk, worker seeds,
+        # transcripts) must use stable_fingerprint() instead — the exact
+        # drift class behind the fig12-15 hash(name) seeding bug.
         return hash(self._pairs)
+
+    def stable_fingerprint(self) -> int:
+        """Process-stable CRC32 fingerprint of the network structure.
+
+        Derived from a canonical textual rendering of the AP pairs, so the
+        same structure yields the same value in every interpreter
+        regardless of ``PYTHONHASHSEED`` (unlike :meth:`__hash__`).  Equal
+        networks always agree; distinct structures collide only with CRC32
+        probability, which is fine for cache keys, seeds and transcript
+        stamps — not for adversarial integrity.
+        """
+        payload = ";".join(
+            "%s|%s" % (
+                pair.child,
+                ",".join(f"{name}^{level}" for name, level in pair.parents),
+            )
+            for pair in self._pairs
+        )
+        return zlib.crc32(payload.encode("utf-8"))
 
     def __repr__(self) -> str:  # pragma: no cover - display helper
         return "BayesianNetwork[" + "; ".join(str(p) for p in self._pairs) + "]"

@@ -28,9 +28,11 @@ from repro.core.parent_sets import (
     maximal_parent_sets,
     maximal_parent_sets_generalized,
 )
+from repro.core.rng import fallback_rng
 from repro.core.scoring import Candidate, CandidateScorer
 from repro.core.theta import usefulness_tau
 from repro.data.table import Table
+from repro.dp.accountant import split_epsilon_even
 from repro.dp.mechanisms import exponential_mechanism
 
 #: Backwards-compatible alias; the scorer now lives in repro.core.scoring.
@@ -100,8 +102,7 @@ def greedy_bayes_fixed_k(
         an ε sweep).  Scoring consumes no randomness, so sharing it leaves
         the RNG draw sequence untouched.
     """
-    if rng is None:
-        rng = np.random.default_rng()
+    rng = fallback_rng(rng)
     names = list(table.attribute_names)
     d = len(names)
     if d == 0:
@@ -125,7 +126,7 @@ def greedy_bayes_fixed_k(
     if epsilon1 is not None:
         if epsilon1 <= 0:
             raise ValueError("epsilon1 must be positive")
-        per_round_epsilon = epsilon1 / max(1, d - 1)
+        per_round_epsilon = split_epsilon_even(epsilon1, max(1, d - 1))
     scorer = _check_scorer(scorer, table, score)
     while remaining:
         width = min(k, len(placed))
@@ -174,8 +175,7 @@ def greedy_bayes_theta(
         Optional pre-built :class:`~repro.core.scoring.CandidateScorer`
         for this (table, score), reusable across runs.
     """
-    if rng is None:
-        rng = np.random.default_rng()
+    rng = fallback_rng(rng)
     names = list(table.attribute_names)
     d = len(names)
     if d == 0:
@@ -191,7 +191,7 @@ def greedy_bayes_theta(
     if epsilon1 is not None:
         if epsilon1 <= 0:
             raise ValueError("epsilon1 must be positive")
-        per_round_epsilon = epsilon1 / max(1, d - 1)
+        per_round_epsilon = split_epsilon_even(epsilon1, max(1, d - 1))
     enumerate_sets = (
         maximal_parent_sets_generalized if generalize else maximal_parent_sets
     )

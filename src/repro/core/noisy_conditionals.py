@@ -42,7 +42,7 @@ from repro.data.marginals import (
     stacked_joint_counts,
 )
 from repro.data.table import Table
-from repro.dp.accountant import PrivacyAccountant
+from repro.dp.accountant import PrivacyAccountant, split_epsilon_even
 from repro.dp.mechanisms import laplace_mechanism
 
 #: L1 sensitivity of a joint probability distribution of one table:
@@ -308,7 +308,7 @@ def noisy_conditionals_general(
             raise ValueError("counter was built for a different table")
         counter.warm(list(network.pairs))
     d = network.d
-    share = None if epsilon2 is None else epsilon2 / d
+    share = None if epsilon2 is None else split_epsilon_even(epsilon2, d)
     conditionals: List[ConditionalTable] = []
     for pair in network:
         if accountant is not None and share is not None:
@@ -353,7 +353,9 @@ def noisy_conditionals_fixed_k(
         if counter.table is not table:
             raise ValueError("counter was built for a different table")
         counter.warm(pairs[k:])
-    share = None if epsilon2 is None else epsilon2 / max(d - k, 1)
+    share = None if epsilon2 is None else split_epsilon_even(
+        epsilon2, max(d - k, 1)
+    )
     conditionals: Dict[str, ConditionalTable] = {}
     anchor_joint: Optional[np.ndarray] = None
     anchor_sizes: Optional[List[int]] = None

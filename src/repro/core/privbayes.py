@@ -34,10 +34,11 @@ from repro.core.noisy_conditionals import (
     noisy_conditionals_fixed_k,
     noisy_conditionals_general,
 )
+from repro.core.rng import fallback_rng
 from repro.core.sampler import sample_synthetic
 from repro.core.theta import choose_k_binary
 from repro.data.table import Table
-from repro.dp.accountant import PrivacyAccountant
+from repro.dp.accountant import PrivacyAccountant, split_epsilon
 
 #: Paper defaults (Section 6.4): β = 0.3, θ = 4.
 DEFAULT_BETA = 0.3
@@ -165,8 +166,7 @@ class PrivBayes:
         parent-set enumerations and contingency counts — deterministic
         data statistics — are computed once across all fits.
         """
-        if rng is None:
-            rng = np.random.default_rng()
+        rng = fallback_rng(rng)
         if table.d == 0 or table.n == 0:
             raise ValueError("cannot fit an empty table")
         config = self.config
@@ -184,8 +184,10 @@ class PrivBayes:
         if score == "auto":
             score = "F" if mode == "binary" else "R"
         accountant = PrivacyAccountant(config.epsilon)
-        epsilon1 = config.beta * config.epsilon
-        epsilon2 = config.epsilon - epsilon1
+        # ε₁ = βε exactly as the historical two-line split (bit-identical).
+        epsilon1, epsilon2 = split_epsilon(
+            config.epsilon, (config.beta,), remainder=True
+        )
         scorer = (
             scoring_cache.scorer(table, score)
             if scoring_cache is not None
@@ -224,8 +226,7 @@ class PrivBayes:
         scoring_cache=None,
     ) -> Table:
         """Full pipeline: fit, then sample a synthetic table."""
-        if rng is None:
-            rng = np.random.default_rng()
+        rng = fallback_rng(rng)
         return self.fit(table, rng, scoring_cache=scoring_cache).sample(n, rng)
 
     # ------------------------------------------------------------------

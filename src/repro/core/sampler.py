@@ -20,6 +20,7 @@ from typing import Dict, Optional, Sequence
 import numpy as np
 
 from repro.core.noisy_conditionals import ConditionalTable, NoisyModel
+from repro.core.rng import fallback_rng
 from repro.data.attribute import Attribute
 from repro.data.table import Table
 
@@ -66,8 +67,7 @@ def sample_synthetic(
     n:
         Number of tuples; the paper releases ``n`` equal to the input size.
     """
-    if rng is None:
-        rng = np.random.default_rng()
+    rng = fallback_rng(rng)
     if n < 0:
         raise ValueError("n must be non-negative")
     by_name: Dict[str, Attribute] = {a.name: a for a in attributes}

@@ -18,7 +18,7 @@ def usefulness_ratio_binary(n: int, d: int, k: int, epsilon2: float) -> float:
     """The θ of Lemma 4.8: ``n·ε₂ / ((d-k)·2^(k+2))`` for binary domains."""
     if not 0 <= k < d:
         raise ValueError("k must satisfy 0 <= k < d")
-    return (n * epsilon2) / ((d - k) * 2 ** (k + 2))
+    return (n * epsilon2) / ((d - k) * 2 ** (k + 2))  # repro: allow[PRIV001] -- theta-usefulness formula over public quantities, not a budget split
 
 
 def choose_k_binary(n: int, d: int, epsilon2: float, theta: float) -> int:
@@ -49,4 +49,4 @@ def usefulness_tau(n: int, d: int, epsilon2: float, theta: float) -> float:
         raise ValueError("n and d must be positive")
     if epsilon2 <= 0 or theta <= 0:
         raise ValueError("epsilon2 and theta must be positive")
-    return (n * epsilon2) / (2.0 * d * theta)
+    return (n * epsilon2) / (2.0 * d * theta)  # repro: allow[PRIV001] -- theta-usefulness formula over public quantities, not a budget split

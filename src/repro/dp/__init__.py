@@ -16,13 +16,24 @@ from repro.dp.mechanisms import (
     exponential_mechanism,
     laplace_mechanism,
     laplace_noise,
+    laplace_scale,
 )
-from repro.dp.accountant import PrivacyAccountant, PrivacyBudgetError
+from repro.dp.accountant import (
+    PrivacyAccountant,
+    PrivacyBudgetError,
+    scale_for_group_privacy,
+    split_epsilon,
+    split_epsilon_even,
+)
 
 __all__ = [
     "laplace_noise",
     "laplace_mechanism",
+    "laplace_scale",
     "exponential_mechanism",
     "PrivacyAccountant",
     "PrivacyBudgetError",
+    "scale_for_group_privacy",
+    "split_epsilon",
+    "split_epsilon_even",
 ]

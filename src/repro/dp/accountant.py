@@ -9,13 +9,94 @@ that would exceed the total budget.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Tuple
+from typing import List, Sequence, Tuple
 
 _TOLERANCE = 1e-9
 
 
-class PrivacyBudgetError(RuntimeError):
-    """Raised when a charge would exceed the remaining privacy budget."""
+class PrivacyBudgetError(ValueError, RuntimeError):
+    """Raised when a charge would exceed the remaining privacy budget.
+
+    Subclasses both :class:`ValueError` (over-spends are invalid values —
+    the contract of :meth:`PrivacyAccountant.spend`) and
+    :class:`RuntimeError` (the historical base, kept so existing
+    ``except RuntimeError`` handlers continue to work).
+    """
+
+
+def split_epsilon(
+    total: float, fractions: Sequence[float], remainder: bool = False
+) -> Tuple[float, ...]:
+    """Split a budget into shares ``total * f`` for each fraction.
+
+    This is the single sanctioned way to divide ε outside the accountant
+    (static-analysis rule PRIV001 flags raw ε arithmetic elsewhere), so the
+    future serving ledger has one choke point for every split.
+
+    Parameters
+    ----------
+    total:
+        The budget being split; must be positive.
+    fractions:
+        Positive fractions; their sum may not exceed 1 (beyond float
+        tolerance).
+    remainder:
+        When true, append ``total - sum(shares)`` as one extra final share —
+        e.g. ``split_epsilon(eps, (beta,), remainder=True)`` yields exactly
+        ``(beta * eps, eps - beta * eps)``, bit-identical to the historical
+        two-line split of :class:`~repro.core.privbayes.PrivBayes`.
+    """
+    if total <= 0:
+        raise ValueError("total epsilon must be positive")
+    fractions = tuple(float(f) for f in fractions)
+    if not fractions:
+        raise ValueError("need at least one fraction")
+    if any(f <= 0 for f in fractions):
+        raise ValueError(f"fractions must be positive; got {fractions}")
+    if sum(fractions) > 1.0 + _TOLERANCE:
+        raise ValueError(
+            f"fractions sum to {sum(fractions):g} > 1; shares would exceed "
+            "the total budget"
+        )
+    shares = tuple(total * f for f in fractions)
+    if remainder:
+        last = total - sum(shares)
+        if last <= 0:
+            raise ValueError(
+                "fractions leave no remainder share; drop remainder=True"
+            )
+        shares = shares + (last,)
+    return shares
+
+
+def split_epsilon_even(total: float, parts: int) -> float:
+    """Per-part share of an even ``total / parts`` budget split.
+
+    The composition argument: ``parts`` sequential releases at
+    ``total / parts`` each compose to ``total``-DP.  Returns the per-part
+    share (exactly ``total / parts``, so routing existing division sites
+    through this helper is bit-identical).
+    """
+    if total <= 0:
+        raise ValueError("total epsilon must be positive")
+    if parts < 1:
+        raise ValueError(f"parts must be at least 1; got {parts}")
+    return total / parts
+
+
+def scale_for_group_privacy(epsilon: float, group_size: int) -> float:
+    """Budget for a mechanism that must be ε-DP at group size ``k``.
+
+    Running an ``ε/k``-DP mechanism on data where one individual
+    contributes up to ``k`` rows yields ε-DP for the individual (group
+    privacy under sequential composition); used by the two-table release
+    where the child-table fanout is bounded by ``max_fanout``.
+    """
+    if epsilon <= 0:
+        raise ValueError("epsilon must be positive")
+    if group_size < 1:
+        raise ValueError(f"group_size must be at least 1; got {group_size}")
+    return epsilon / group_size
 
 
 @dataclass
@@ -49,11 +130,12 @@ class PrivacyAccountant:
         """Copy of the (label, ε) charge history."""
         return list(self._ledger)
 
-    def charge(self, label: str, epsilon: float) -> float:
+    def spend(self, label: str, epsilon: float) -> float:
         """Record an ε charge; returns the ε actually granted.
 
-        Raises :class:`PrivacyBudgetError` when the charge would overdraw
-        the budget by more than floating-point tolerance.
+        Raises :class:`PrivacyBudgetError` (a :class:`ValueError`) when the
+        charge would overdraw the budget by more than floating-point
+        tolerance.
         """
         if epsilon <= 0:
             raise ValueError("charges must be positive")
@@ -64,6 +146,15 @@ class PrivacyAccountant:
             )
         self._ledger.append((label, float(epsilon)))
         return float(epsilon)
+
+    #: Historical name for :meth:`spend`; kept for existing callers.
+    charge = spend
+
+    def split(
+        self, fractions: Sequence[float], remainder: bool = False
+    ) -> Tuple[float, ...]:
+        """Shares of this accountant's *total* budget (no spend recorded)."""
+        return split_epsilon(self.total_epsilon, fractions, remainder)
 
     def assert_exhausted(self, tolerance: float = 1e-6) -> None:
         """Check that the whole budget was used (optional sanity check)."""

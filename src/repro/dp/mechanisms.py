@@ -7,6 +7,21 @@ from typing import Optional, Sequence
 import numpy as np
 
 
+def laplace_scale(sensitivity: float, epsilon: float) -> float:
+    """The Laplace-mechanism noise scale ``b = sensitivity / epsilon``.
+
+    The single sanctioned place to derive a noise scale from a budget:
+    static-analysis rule PRIV002 requires every noise call's scale
+    expression to flow through a sensitivity helper, so calibration errors
+    (wrong sensitivity, raw ε arithmetic) stay greppable in one module.
+    """
+    if epsilon <= 0:
+        raise ValueError("epsilon must be positive")
+    if sensitivity < 0:
+        raise ValueError("sensitivity must be non-negative")
+    return sensitivity / epsilon
+
+
 def laplace_noise(
     scale: float, size, rng: np.random.Generator
 ) -> np.ndarray:
@@ -34,7 +49,9 @@ def laplace_mechanism(
     if sensitivity < 0:
         raise ValueError("sensitivity must be non-negative")
     values = np.asarray(values, dtype=float)
-    return values + laplace_noise(sensitivity / epsilon, values.shape, rng)
+    return values + laplace_noise(
+        laplace_scale(sensitivity, epsilon), values.shape, rng
+    )
 
 
 def exponential_mechanism(

@@ -17,6 +17,7 @@ from repro.baselines import MajorityClassifier, PrivGene, PrivateERM
 from repro.core.privbayes import DEFAULT_BETA, DEFAULT_THETA
 from repro.core.scoring import ScoringCache
 from repro.datasets import load_dataset
+from repro.dp.accountant import split_epsilon_even
 from repro.experiments.framework import EPSILONS, ExperimentResult
 from repro.experiments.parallel import (
     SweepCell,
@@ -71,14 +72,18 @@ def _svm_cell(cell: SweepCell) -> float:
         )
         return evaluate_svm_synthetic(synthetic, state["task"], X_test, y_test)
     elif cell.series == "Majority":
-        model = MajorityClassifier().fit(X_train, y_train, epsilon / 4.0, rng)
+        model = MajorityClassifier().fit(
+            X_train, y_train, split_epsilon_even(epsilon, 4), rng
+        )
     elif cell.series == "PrivateERM":
-        model = PrivateERM().fit(X_train, y_train, epsilon / 4.0, rng)
+        model = PrivateERM().fit(
+            X_train, y_train, split_epsilon_even(epsilon, 4), rng
+        )
     elif cell.series == "PrivateERM (Single)":
         model = PrivateERM().fit(X_train, y_train, epsilon, rng)
     elif cell.series == "PrivGene":
         model = PrivGene(iterations=state["privgene_iterations"]).fit(
-            X_train, y_train, epsilon / 4.0, rng
+            X_train, y_train, split_epsilon_even(epsilon, 4), rng
         )
     else:
         raise ValueError(f"unknown series {cell.series!r}")

@@ -20,6 +20,7 @@ from repro.core.privbayes import DEFAULT_BETA, DEFAULT_THETA
 from repro.core.scoring import ScoringCache
 from repro.core.theta import choose_k_binary
 from repro.datasets import load_dataset
+from repro.dp.accountant import split_epsilon
 from repro.experiments.framework import EPSILONS, ExperimentResult
 
 _BINARY_DATASETS = {"nltcs", "acs"}
@@ -83,8 +84,7 @@ def run_fig4(
     for score in scores:
         values = []
         for eps_idx, epsilon in enumerate(epsilons):
-            epsilon1 = beta * epsilon
-            epsilon2 = (1.0 - beta) * epsilon
+            epsilon1, epsilon2 = split_epsilon(epsilon, (beta, 1.0 - beta))
             repeats_values = []
             for r in range(repeats):
                 rng = np.random.default_rng(seed * 7919 + eps_idx * 101 + r)
@@ -100,7 +100,7 @@ def run_fig4(
     # NoPrivacy ceiling: argmax greedy over I with the same ε-driven degree.
     ceiling = []
     for epsilon in epsilons:
-        epsilon2 = (1.0 - beta) * epsilon
+        (epsilon2,) = split_epsilon(epsilon, (1.0 - beta,))
         rng = np.random.default_rng(seed)
         network = _learn_network(
             table, dataset, "I", None, epsilon2, theta, rng, first, scoring

@@ -30,8 +30,13 @@ from typing import Optional
 import numpy as np
 
 from repro.core.privbayes import PrivBayes, PrivBayesModel
+from repro.core.rng import fallback_rng
 from repro.data.marginals import normalize_distribution
-from repro.dp.accountant import PrivacyAccountant
+from repro.dp.accountant import (
+    PrivacyAccountant,
+    scale_for_group_privacy,
+    split_epsilon,
+)
 from repro.dp.mechanisms import laplace_mechanism
 from repro.multitable.linked import LinkedTables
 
@@ -55,8 +60,7 @@ class TwoTableRelease:
         rng: Optional[np.random.Generator] = None,
     ) -> LinkedTables:
         """Synthesize a linked pair of tables (free post-processing)."""
-        if rng is None:
-            rng = np.random.default_rng()
+        rng = fallback_rng(rng)
         count = (
             self.primary_model.source_n
             if n_individuals is None
@@ -106,8 +110,7 @@ def release_two_tables(
         Extra configuration forwarded to both PrivBayes pipelines
         (``beta``, ``theta``, ``score``, ...).
     """
-    if rng is None:
-        rng = np.random.default_rng()
+    rng = fallback_rng(rng)
     if epsilon <= 0:
         raise ValueError("epsilon must be positive")
     if len(split) != 3 or abs(sum(split) - 1.0) > 1e-9 or min(split) <= 0:
@@ -117,7 +120,7 @@ def release_two_tables(
     if max_fanout < 1:
         raise ValueError("max_fanout must be at least 1")
     accountant = PrivacyAccountant(epsilon)
-    eps_primary, eps_fanout, eps_child = (epsilon * f for f in split)
+    eps_primary, eps_fanout, eps_child = split_epsilon(epsilon, split)
 
     truncated = linked.truncate(max_fanout, rng)
 
@@ -149,7 +152,8 @@ def release_two_tables(
     if truncated.child.n == 0:
         raise ValueError("child table has no rows after truncation")
     child_model = PrivBayes(
-        epsilon=eps_child / max_fanout, **privbayes_kwargs
+        epsilon=scale_for_group_privacy(eps_child, max_fanout),
+        **privbayes_kwargs,
     ).fit(truncated.child, rng=rng, scoring_cache=scoring_cache)
 
     return TwoTableRelease(

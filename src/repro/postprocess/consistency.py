@@ -20,7 +20,11 @@ from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
 
-from repro.data.marginals import normalize_distribution, project_distribution
+from repro.data.marginals import (
+    domain_size,
+    normalize_distribution,
+    project_distribution,
+)
 
 Marginals = Dict[Tuple[str, ...], np.ndarray]
 
@@ -86,7 +90,7 @@ def mutually_consistent_marginals(
             mean = np.mean([projections[names] for names in holders], axis=0)
             for names in holders:
                 sizes = [attribute_sizes[name] for name in names]
-                rest = int(np.prod(sizes)) // int(np.prod(subset_sizes))
+                rest = domain_size(sizes) // domain_size(subset_sizes)
                 correction = (mean - projections[names]) / rest
                 # Broadcast the correction across the non-subset axes:
                 # reorder its axes to ascending marginal-axis position and

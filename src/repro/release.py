@@ -13,6 +13,7 @@ from typing import Optional, Tuple
 import numpy as np
 
 from repro.core.privbayes import DEFAULT_BETA, DEFAULT_THETA, PrivBayes
+from repro.core.rng import fallback_rng
 from repro.data.table import Table
 from repro.encoding import make_encoder
 
@@ -58,8 +59,7 @@ def release_synthetic(
 
     Returns a synthetic :class:`~repro.data.Table` with the original schema.
     """
-    if rng is None:
-        rng = np.random.default_rng()
+    rng = fallback_rng(rng)
     encoding, score = parse_method(method)
     encoder = make_encoder(encoding)
     encoded = encoder.encode(table)

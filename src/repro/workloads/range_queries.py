@@ -15,6 +15,7 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.core.rng import fallback_rng
 from repro.data.attribute import AttributeKind
 from repro.data.table import Table
 
@@ -66,8 +67,7 @@ def random_range_queries(
     has no continuous ones (ranges over categorical codes are less
     meaningful but still well-defined).
     """
-    if rng is None:
-        rng = np.random.default_rng()
+    rng = fallback_rng(rng)
     if count < 1:
         raise ValueError("count must be positive")
     pool = list(attributes) if attributes else ordered_attributes(table)

@@ -1,0 +1,178 @@
+"""CLI behaviour: exit codes, JSON schema stability, cache, self-hosting."""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import REPORT_SCHEMA_VERSION, ResultCache, analyze_paths
+from repro.analysis.cli import main
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+CLEAN = "import numpy as np\n\n\ndef draw(rng):\n    return rng.random()\n"
+DIRTY = "import numpy as np\n\nrng = np.random.default_rng()\n"
+
+# The schema is a published contract (CI parses it): changing either set
+# below requires bumping REPORT_SCHEMA_VERSION.
+TOP_LEVEL_KEYS = {
+    "schema_version",
+    "analyzer_version",
+    "paths",
+    "files_scanned",
+    "rules",
+    "counts",
+    "findings",
+}
+FINDING_KEYS = {
+    "rule",
+    "path",
+    "line",
+    "col",
+    "message",
+    "status",
+    "justification",
+    "fingerprint",
+    "snippet",
+}
+
+
+def run_cli(args, capsys):
+    code = main([str(a) for a in args])
+    out = capsys.readouterr().out
+    return code, out
+
+
+class TestExitCodes:
+    def test_clean_tree_exits_zero(self, tmp_path, capsys):
+        (tmp_path / "ok.py").write_text(CLEAN)
+        code, _ = run_cli([tmp_path, "--no-cache"], capsys)
+        assert code == 0
+
+    def test_open_findings_exit_one(self, tmp_path, capsys):
+        (tmp_path / "bad.py").write_text(DIRTY)
+        code, out = run_cli([tmp_path, "--no-cache"], capsys)
+        assert code == 1
+        assert "DET001" in out
+
+    def test_no_paths_is_usage_error(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main([])
+        assert excinfo.value.code == 2
+
+    def test_list_rules_exits_zero(self, capsys):
+        code, out = run_cli(["--list-rules"], capsys)
+        assert code == 0
+        for rule_id in ("DET001", "DET002", "DET003", "PRIV001", "PRIV002", "NUM001"):
+            assert rule_id in out
+
+
+class TestJsonSchema:
+    def test_schema_version_and_keys_are_stable(self, tmp_path, capsys):
+        (tmp_path / "bad.py").write_text(DIRTY)
+        code, out = run_cli([tmp_path, "--no-cache", "--format", "json"], capsys)
+        assert code == 1
+        payload = json.loads(out)
+        assert payload["schema_version"] == REPORT_SCHEMA_VERSION == 1
+        assert set(payload) == TOP_LEVEL_KEYS
+        assert payload["counts"] == {"open": 1, "suppressed": 0, "baselined": 0}
+        (finding,) = payload["findings"]
+        assert set(finding) == FINDING_KEYS
+        assert finding["rule"] == "DET001"
+        assert finding["status"] == "open"
+
+    def test_json_is_deterministic_across_runs(self, tmp_path, capsys):
+        (tmp_path / "bad.py").write_text(DIRTY)
+        (tmp_path / "ok.py").write_text(CLEAN)
+        _, first = run_cli([tmp_path, "--no-cache", "--format", "json"], capsys)
+        _, second = run_cli([tmp_path, "--no-cache", "--format", "json"], capsys)
+        assert first == second
+
+
+class TestWriteBaseline:
+    def test_write_then_gate_passes(self, tmp_path, capsys):
+        (tmp_path / "bad.py").write_text(DIRTY)
+        baseline = tmp_path / "baseline.json"
+
+        code, _ = run_cli(
+            [tmp_path, "--no-cache", "--baseline", baseline, "--write-baseline"],
+            capsys,
+        )
+        assert code == 0 and baseline.is_file()
+        payload = json.loads(baseline.read_text())
+        assert payload["schema_version"] == 1 and payload["entries"]
+
+        code, out = run_cli(
+            [tmp_path, "--no-cache", "--baseline", baseline], capsys
+        )
+        assert code == 0
+        assert "[baselined]" in out
+
+
+class TestCache:
+    def test_second_run_hits_cache_and_edit_invalidates(self, tmp_path):
+        target = tmp_path / "bad.py"
+        target.write_text(DIRTY)
+        cache_file = tmp_path / "cache.json"
+
+        cache = ResultCache(cache_file)
+        first = analyze_paths([tmp_path], cache=cache)
+        cache.save()
+        assert (first.cache_hits, first.cache_misses) == (0, 1)
+
+        cache = ResultCache(cache_file)
+        second = analyze_paths([tmp_path], cache=cache)
+        cache.save()
+        assert (second.cache_hits, second.cache_misses) == (1, 0)
+        assert [f.to_dict() for f in second.findings] == [
+            f.to_dict() for f in first.findings
+        ]
+
+        target.write_text(DIRTY + "x = 1\n")
+        cache = ResultCache(cache_file)
+        third = analyze_paths([tmp_path], cache=cache)
+        assert (third.cache_hits, third.cache_misses) == (0, 1)
+
+
+class TestSelfHosted:
+    def test_repo_src_and_tests_are_clean(self):
+        """The CI gate, run in-process: no open findings over the repo."""
+        report = analyze_paths(
+            [REPO_ROOT / "src", REPO_ROOT / "tests"],
+            cache=None,
+            root=REPO_ROOT,
+        )
+        open_findings = [f for f in report.findings if f.status == "open"]
+        assert open_findings == [], "\n".join(
+            f"{f.path}:{f.line}: {f.rule} {f.message}" for f in open_findings
+        )
+        assert report.exit_code == 0
+        # Every suppression in the tree carries a justification.
+        for finding in report.findings:
+            if finding.status == "suppressed":
+                assert finding.justification, finding
+
+    def test_cli_subprocess_over_repo(self):
+        """End-to-end: the exact command CI runs, exit 0 with parseable JSON."""
+        proc = subprocess.run(
+            [
+                sys.executable,
+                "-m",
+                "repro.analysis",
+                "src",
+                "tests",
+                "--no-cache",
+                "--format",
+                "json",
+            ],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+            env={"PYTHONPATH": "src", "PATH": "/usr/bin:/bin:/usr/local/bin"},
+        )
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        payload = json.loads(proc.stdout)
+        assert payload["counts"]["open"] == 0
+        assert payload["files_scanned"] > 100

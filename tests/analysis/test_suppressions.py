@@ -1,0 +1,153 @@
+"""Suppression-pragma and baseline round-trip tests."""
+
+import textwrap
+
+from repro.analysis import (
+    analyze_source,
+    apply_baseline,
+    finding_fingerprint,
+    load_baseline,
+    write_baseline,
+)
+from repro.analysis.pragmas import scan_pragmas
+
+
+def analyzed(snippet, path="fixture.py"):
+    return analyze_source(textwrap.dedent(snippet), path)
+
+
+class TestPragmas:
+    def test_inline_pragma_suppresses_and_records_justification(self):
+        found = analyzed(
+            """
+            import numpy as np
+            rng = np.random.default_rng()  # repro: allow[DET001] -- fixture sink
+            """
+        )
+        assert [(f.rule, f.status) for f in found] == [("DET001", "suppressed")]
+        assert found[0].justification == "fixture sink"
+
+    def test_comment_only_line_above_suppresses(self):
+        found = analyzed(
+            """
+            import numpy as np
+            # repro: allow[DET001] -- fixture sink
+            rng = np.random.default_rng()
+            """
+        )
+        assert [(f.rule, f.status) for f in found] == [("DET001", "suppressed")]
+
+    def test_pragma_is_rule_specific(self):
+        found = analyzed(
+            """
+            import numpy as np
+            total = int(np.prod(np.random.default_rng().integers(1, 9, 4)))  # repro: allow[DET001] -- fixture sink
+            """
+        )
+        by_rule = {f.rule: f.status for f in found}
+        assert by_rule == {"DET001": "suppressed", "NUM001": "open"}
+
+    def test_multi_rule_pragma(self):
+        found = analyzed(
+            """
+            import numpy as np
+            total = int(np.prod(np.random.default_rng().integers(1, 9, 4)))  # repro: allow[DET001,NUM001] -- fixture covering both
+            """
+        )
+        assert {f.status for f in found} == {"suppressed"}
+
+    def test_missing_justification_is_rejected(self):
+        found = analyzed(
+            """
+            import numpy as np
+            rng = np.random.default_rng()  # repro: allow[DET001]
+            """
+        )
+        by_rule = {f.rule: f.status for f in found}
+        # The bad pragma is itself a finding, and does NOT suppress.
+        assert by_rule == {"ANA001": "open", "DET001": "open"}
+
+    def test_unknown_rule_id_is_rejected(self):
+        found = analyzed(
+            """
+            x = 1  # repro: allow[NOPE999] -- not a rule
+            """
+        )
+        assert [f.rule for f in found] == ["ANA001"]
+        assert "NOPE999" in found[0].message
+
+    def test_empty_rule_list_is_rejected(self):
+        found = analyzed(
+            """
+            x = 1  # repro: allow[] -- nothing
+            """
+        )
+        assert [f.rule for f in found] == ["ANA001"]
+
+    def test_unused_pragma_is_harmless(self):
+        found = analyzed(
+            """
+            x = 1  # repro: allow[DET001] -- nothing here triggers it
+            """
+        )
+        assert found == []
+
+    def test_scan_pragmas_parses_fields(self):
+        pragmas, errors = scan_pragmas(
+            "x = 1  # repro: allow[DET001,PRIV001] -- why not\n"
+        )
+        assert errors == []
+        pragma = pragmas[1]
+        assert pragma.rules == ("DET001", "PRIV001")
+        assert pragma.justification == "why not"
+        assert not pragma.comment_only
+
+
+BAD_SNIPPET = """\
+import numpy as np
+rng = np.random.default_rng()
+"""
+
+
+class TestBaseline:
+    def test_round_trip_marks_findings_baselined(self, tmp_path):
+        findings = analyze_source(BAD_SNIPPET, "pkg/mod.py")
+        assert [f.status for f in findings] == ["open"]
+
+        baseline_file = tmp_path / "baseline.json"
+        write_baseline(baseline_file, findings)
+        baseline = load_baseline(baseline_file)
+        after = apply_baseline(findings, baseline)
+        assert [f.status for f in after] == ["baselined"]
+
+    def test_baseline_expires_when_line_changes(self, tmp_path):
+        findings = analyze_source(BAD_SNIPPET, "pkg/mod.py")
+        baseline_file = tmp_path / "baseline.json"
+        write_baseline(baseline_file, findings)
+        baseline = load_baseline(baseline_file)
+
+        edited = analyze_source(
+            BAD_SNIPPET.replace("rng =", "generator ="), "pkg/mod.py"
+        )
+        after = apply_baseline(edited, baseline)
+        assert [f.status for f in after] == ["open"]
+
+    def test_baseline_count_is_consumed_per_occurrence(self, tmp_path):
+        two = BAD_SNIPPET + "rng = np.random.default_rng()\n"
+        one_entry = analyze_source(BAD_SNIPPET, "pkg/mod.py")
+        baseline_file = tmp_path / "baseline.json"
+        write_baseline(baseline_file, one_entry)
+        baseline = load_baseline(baseline_file)
+
+        after = apply_baseline(analyze_source(two, "pkg/mod.py"), baseline)
+        # Both occurrences share the same line text / fingerprint, but the
+        # baseline recorded only one: the second stays open.
+        assert sorted(f.status for f in after) == ["baselined", "open"]
+
+    def test_fingerprint_ignores_surrounding_whitespace(self):
+        assert finding_fingerprint(
+            "a.py", "DET001", "  x = hash(y)  "
+        ) == finding_fingerprint("a.py", "DET001", "x = hash(y)")
+
+    def test_missing_baseline_loads_empty(self, tmp_path):
+        assert load_baseline(tmp_path / "nope.json") == {}

@@ -14,6 +14,7 @@ from repro.core.parent_sets import (
     parent_set_domain_size,
 )
 from repro.data.attribute import Attribute
+from repro.data.marginals import domain_size
 from repro.data.taxonomy import TaxonomyTree
 
 
@@ -31,7 +32,7 @@ def _bruteforce_maximal(attrs, tau):
     feasible = []
     for r in range(len(attrs) + 1):
         for combo in itertools.combinations(attrs, r):
-            size = int(np.prod([a.size for a in combo])) if combo else 1
+            size = domain_size([a.size for a in combo]) if combo else 1
             if size <= tau:
                 feasible.append(frozenset((a.name, 0) for a in combo))
     maximal = {

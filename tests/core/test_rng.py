@@ -1,0 +1,25 @@
+"""The central RNG fallback sink (repro.core.rng)."""
+
+import numpy as np
+
+from repro.core.rng import fallback_rng
+
+
+def test_given_generator_is_returned_unchanged():
+    rng = np.random.default_rng(42)
+    assert fallback_rng(rng) is rng
+
+
+def test_seeded_path_is_the_identity_for_draws():
+    # Routing through fallback_rng must not perturb a seeded stream.
+    direct = np.random.default_rng(7).random(5)
+    routed = fallback_rng(np.random.default_rng(7)).random(5)
+    assert np.array_equal(direct, routed)
+
+
+def test_none_yields_fresh_generators():
+    a = fallback_rng(None)
+    b = fallback_rng()
+    assert isinstance(a, np.random.Generator)
+    assert isinstance(b, np.random.Generator)
+    assert a is not b

@@ -2,7 +2,13 @@
 
 import pytest
 
-from repro.dp.accountant import PrivacyAccountant, PrivacyBudgetError
+from repro.dp.accountant import (
+    PrivacyAccountant,
+    PrivacyBudgetError,
+    scale_for_group_privacy,
+    split_epsilon,
+    split_epsilon_even,
+)
 
 
 class TestAccountant:
@@ -67,3 +73,90 @@ class TestAccountant:
         acc.charge("x", 0.5)
         with pytest.raises(PrivacyBudgetError, match="not exhausted"):
             acc.assert_exhausted()
+
+    def test_spend_is_the_primary_name_and_charge_aliases_it(self):
+        acc = PrivacyAccountant(1.0)
+        granted = acc.spend("a", 0.25)
+        assert granted == 0.25
+        assert PrivacyAccountant.charge is PrivacyAccountant.spend
+        acc.charge("b", 0.25)
+        assert acc.spent == pytest.approx(0.5)
+
+    def test_overspend_is_a_value_error(self):
+        acc = PrivacyAccountant(1.0)
+        acc.spend("a", 0.9)
+        with pytest.raises(ValueError):
+            acc.spend("b", 0.2)
+        # ... and still a RuntimeError for historical handlers.
+        with pytest.raises(RuntimeError):
+            acc.spend("b", 0.2)
+
+    def test_exact_boundary_spend_then_any_more_raises(self):
+        acc = PrivacyAccountant(2.0)
+        acc.spend("all", 2.0)
+        assert acc.remaining == pytest.approx(0.0, abs=1e-12)
+        acc.assert_exhausted()
+        with pytest.raises(PrivacyBudgetError):
+            acc.spend("extra", 1e-6)
+
+    def test_split_method_matches_module_function(self):
+        acc = PrivacyAccountant(1.7)
+        assert acc.split((0.3,), remainder=True) == split_epsilon(
+            1.7, (0.3,), remainder=True
+        )
+        # split() only computes shares; nothing is recorded.
+        assert acc.spent == 0.0
+
+
+class TestSplitEpsilon:
+    def test_beta_remainder_split_is_bit_identical_to_inline_form(self):
+        # PrivBayes' historical split: epsilon1 = beta*eps; epsilon2 = eps - epsilon1.
+        for eps in (0.1, 0.8, 1.0, 1.6, 3.2, 10.0):
+            for beta in (0.1, 0.3, 0.5, 0.85):
+                e1, e2 = split_epsilon(eps, (beta,), remainder=True)
+                # repro: allow[PRIV001] -- the historical inline split is the reference this bit-identity test compares against
+                assert e1 == beta * eps
+                assert e2 == eps - beta * eps  # repro: allow[PRIV001] -- the historical inline split is the reference this bit-identity test compares against
+
+    def test_explicit_fractions_split(self):
+        shares = split_epsilon(2.0, (0.25, 0.25, 0.5))
+        assert shares == (0.5, 0.5, 1.0)
+
+    def test_fractions_summing_past_one_rejected(self):
+        with pytest.raises(ValueError, match="exceed"):
+            split_epsilon(1.0, (0.7, 0.7))
+
+    def test_nonpositive_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            split_epsilon(0.0, (0.5,))
+        with pytest.raises(ValueError):
+            split_epsilon(1.0, (-0.1,))
+        with pytest.raises(ValueError):
+            split_epsilon(1.0, ())
+
+    def test_full_fraction_leaves_no_remainder(self):
+        with pytest.raises(ValueError, match="remainder"):
+            split_epsilon(1.0, (1.0,), remainder=True)
+
+    def test_even_split_is_exact_division(self):
+        for eps in (0.5, 1.0, 1.6):
+            for parts in (1, 2, 4, 7):
+                assert split_epsilon_even(eps, parts) == eps / parts  # repro: allow[PRIV001] -- plain division is the reference this bit-identity test compares against
+
+    def test_even_split_validation(self):
+        with pytest.raises(ValueError):
+            split_epsilon_even(-1.0, 2)
+        with pytest.raises(ValueError):
+            split_epsilon_even(1.0, 0)
+
+
+class TestGroupPrivacy:
+    def test_scale_divides_by_group_size(self):
+        assert scale_for_group_privacy(1.6, 4) == 1.6 / 4
+        assert scale_for_group_privacy(0.8, 1) == 0.8
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            scale_for_group_privacy(0.0, 3)
+        with pytest.raises(ValueError):
+            scale_for_group_privacy(1.0, 0)

@@ -6,14 +6,14 @@ import pytest
 from repro.svm.linear import HuberSVM, LinearSVM, _smoothed_hinge
 
 
-def _numeric_gradient(fn, w, eps=1e-6):
+def _numeric_gradient(fn, w, fd_step=1e-6):
     grad = np.zeros_like(w)
     for i in range(w.size):
         up = w.copy()
         down = w.copy()
-        up[i] += eps
-        down[i] -= eps
-        grad[i] = (fn(up) - fn(down)) / (2 * eps)
+        up[i] += fd_step
+        down[i] -= fd_step
+        grad[i] = (fn(up) - fn(down)) / (2 * fd_step)
     return grad
 
 
@@ -40,19 +40,19 @@ class TestSmoothedHinge:
 
     def test_continuous_at_boundaries(self):
         delta = 0.1
-        eps = 1e-9
-        lo, _ = _smoothed_hinge(np.array([1.0 - delta - eps]), delta)
-        hi, _ = _smoothed_hinge(np.array([1.0 - delta + eps]), delta)
+        fd_step = 1e-9
+        lo, _ = _smoothed_hinge(np.array([1.0 - delta - fd_step]), delta)
+        hi, _ = _smoothed_hinge(np.array([1.0 - delta + fd_step]), delta)
         assert lo[0] == pytest.approx(hi[0], abs=1e-6)
 
     def test_derivative_matches_numeric(self):
         delta = 0.05
         margins = np.linspace(0.5, 1.5, 21)
         _, grad = _smoothed_hinge(margins, delta)
-        eps = 1e-7
-        up, _ = _smoothed_hinge(margins + eps, delta)
-        down, _ = _smoothed_hinge(margins - eps, delta)
-        numeric = (up - down) / (2 * eps)
+        fd_step = 1e-7
+        up, _ = _smoothed_hinge(margins + fd_step, delta)
+        down, _ = _smoothed_hinge(margins - fd_step, delta)
+        numeric = (up - down) / (2 * fd_step)
         assert np.allclose(grad, numeric, atol=1e-4)
 
 
@@ -100,8 +100,8 @@ class TestObjectiveGradients:
 
     def test_huber_loss_continuity(self):
         model = HuberSVM(lam=0.1, huber_h=0.5)
-        eps = 1e-9
+        fd_step = 1e-9
         for corner in (0.5, 1.5):
-            lo, _ = model._huber_loss(np.array([corner - eps]))
-            hi, _ = model._huber_loss(np.array([corner + eps]))
+            lo, _ = model._huber_loss(np.array([corner - fd_step]))
+            hi, _ = model._huber_loss(np.array([corner + fd_step]))
             assert lo[0] == pytest.approx(hi[0], abs=1e-6)
