@@ -40,7 +40,11 @@ from repro.core.noisy_conditionals import (
     noisy_conditionals_fixed_k,
     noisy_conditionals_general,
 )
-from repro.core.sampler import sample_synthetic
+from repro.core.sampler import (
+    invert_row_cdfs,
+    sample_synthetic,
+    sample_synthetic_chunks,
+)
 from repro.core.theta import choose_k_binary, usefulness_tau
 
 __all__ = [
@@ -65,6 +69,8 @@ __all__ = [
     "noisy_conditionals_fixed_k",
     "noisy_conditionals_general",
     "sample_synthetic",
+    "sample_synthetic_chunks",
+    "invert_row_cdfs",
     "choose_k_binary",
     "usefulness_tau",
 ]

@@ -135,7 +135,7 @@ class NoisyModel:
 class JointCounter:
     """Batched, memoized contingency counts for AP-pair joints.
 
-    All state is derived deterministically from the table: the flattened
+    All state is derived deterministically from the data: the flattened
     parent configuration of each parent set (a
     :class:`~repro.bn.quality.ParentIndexCache`, shareable with the
     candidate scorer so parent sets selected during structure search are
@@ -145,16 +145,27 @@ class JointCounter:
     the same table (e.g. via :class:`~repro.core.scoring.ScoringCache`)
     without perturbing any seeded output.  Cached count arrays are
     read-only; consumers copy on conversion to probabilities.
+
+    ``table`` may also be a :class:`~repro.data.chunks.ChunkedSource`:
+    counts then accumulate chunk by chunk (exact int64 addition — the same
+    integers the resident scan produces), with :meth:`warm` counting all
+    of a network's parent-set groups in a single pass over the rows.  The
+    per-row parent-index cache only applies to resident tables.
     """
 
     def __init__(
-        self, table: Table, parent_index: Optional[ParentIndexCache] = None
+        self, table, parent_index: Optional[ParentIndexCache] = None
     ) -> None:
-        if parent_index is not None and parent_index.table is not table:
+        self._resident = isinstance(table, Table)
+        if parent_index is not None and (
+            not self._resident or parent_index.table is not table
+        ):
             raise ValueError("parent_index was built for a different table")
         self.table = table
         self._parent_index = (
-            parent_index if parent_index is not None else ParentIndexCache(table)
+            parent_index
+            if parent_index is not None
+            else (ParentIndexCache(table) if self._resident else None)
         )
         self._counts: Dict[Tuple, Tuple[np.ndarray, Tuple[int, ...]]] = {}
 
@@ -167,7 +178,9 @@ class JointCounter:
         Pairs sharing a parent set are counted in one offset-shifted
         ``np.bincount`` over the shared flattened parent index (see
         :func:`repro.data.marginals.stacked_joint_counts`); the resulting
-        integer segments are identical to per-pair bincounts.
+        integer segments are identical to per-pair bincounts.  On a
+        chunked source, *all* groups are accumulated in one streaming
+        pass over the rows.
         """
         groups: Dict[Tuple, Dict[str, None]] = {}
         for pair in pairs:
@@ -175,12 +188,49 @@ class JointCounter:
                 # Dict-as-ordered-set: dedupe children per parent set while
                 # preserving first-seen order.
                 groups.setdefault(pair.parents, {})[pair.child] = None
-        for parents, children in groups.items():
-            self._count_group(parents, list(children))
+        if not groups:
+            return
+        if self._resident:
+            for parents, children in groups.items():
+                self._count_group(parents, list(children))
+            return
+        # Lazy import: data.chunks is a sibling leaf module, imported here
+        # to keep the module import graph unchanged for resident callers.
+        from repro.data.chunks import stream_grouped_joint_counts
+
+        group_list = [
+            (parents, tuple(children)) for parents, children in groups.items()
+        ]
+        for (parents, children), counted in zip(
+            group_list, stream_grouped_joint_counts(self.table, group_list)
+        ):
+            self._store_group(parents, children, counted)
+
+    def _store_group(self, parents, children, counted) -> None:
+        """File one group's streamed counts under its per-pair keys."""
+        block, offsets, lengths, parent_sizes, child_sizes = counted
+        for child, child_size, offset, length in zip(
+            children, child_sizes, offsets, lengths
+        ):
+            counts = np.ascontiguousarray(block[offset : offset + length])
+            counts.setflags(write=False)
+            self._counts[(child, parents)] = (
+                counts,
+                tuple(parent_sizes) + (int(child_size),),
+            )
 
     def _count_group(
         self, parents: Tuple[Tuple[str, int], ...], children: Sequence[str]
     ) -> None:
+        if not self._resident:
+            from repro.data.chunks import stream_stacked_joint_counts
+
+            self._store_group(
+                parents,
+                tuple(children),
+                stream_stacked_joint_counts(self.table, parents, children),
+            )
+            return
         parent_flat, parent_sizes = self._parent_index.flat(parents)
         parent_dom = domain_size(parent_sizes)
         child_sizes = [self.table.attribute(c).size for c in children]
@@ -228,7 +278,7 @@ def _pair_layout(
 
 
 def _noisy_joint(
-    table: Table,
+    table,
     pair: APPair,
     epsilon_share: Optional[float],
     rng: np.random.Generator,
@@ -281,7 +331,7 @@ def _conditional_from(
 
 
 def noisy_conditionals_general(
-    table: Table,
+    table,
     network: BayesianNetwork,
     epsilon2: Optional[float],
     rng: np.random.Generator,
@@ -303,6 +353,11 @@ def noisy_conditionals_general(
         raise ValueError("epsilon2 must be positive")
     if counter is None and batched:
         counter = JointCounter(table)
+    if counter is None and not isinstance(table, Table):
+        raise ValueError(
+            "batched=False requires a resident Table; a chunked source "
+            "must count through a JointCounter"
+        )
     if counter is not None:
         if counter.table is not table:
             raise ValueError("counter was built for a different table")
@@ -319,7 +374,7 @@ def noisy_conditionals_general(
 
 
 def noisy_conditionals_fixed_k(
-    table: Table,
+    table,
     network: BayesianNetwork,
     k: int,
     epsilon2: Optional[float],
@@ -348,6 +403,11 @@ def noisy_conditionals_fixed_k(
         raise ValueError(f"k={k} out of range for d={d}")
     if counter is None and batched:
         counter = JointCounter(table)
+    if counter is None and not isinstance(table, Table):
+        raise ValueError(
+            "batched=False requires a resident Table; a chunked source "
+            "must count through a JointCounter"
+        )
     pairs = list(network.pairs)
     if counter is not None:
         if counter.table is not table:

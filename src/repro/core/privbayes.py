@@ -35,8 +35,9 @@ from repro.core.noisy_conditionals import (
     noisy_conditionals_general,
 )
 from repro.core.rng import fallback_rng
-from repro.core.sampler import sample_synthetic
+from repro.core.sampler import sample_synthetic, sample_synthetic_chunks
 from repro.core.theta import choose_k_binary
+from repro.data.chunks import DEFAULT_CHUNK_ROWS
 from repro.data.table import Table
 from repro.dp.accountant import PrivacyAccountant, split_epsilon
 
@@ -140,6 +141,28 @@ class PrivBayesModel:
             rng,
         )
 
+    def sample_chunks(
+        self,
+        n: Optional[int] = None,
+        rng: Optional[np.random.Generator] = None,
+        chunk_rows: int = DEFAULT_CHUNK_ROWS,
+    ):
+        """Stream a synthetic dataset as bounded-size chunk tables.
+
+        The streaming release path: feed the returned iterator straight to
+        :func:`repro.data.io.write_csv`.  See
+        :func:`repro.core.sampler.sample_synthetic_chunks` for the
+        determinism contract (chunk-size-invariant, but a different seeded
+        stream than :meth:`sample`).
+        """
+        return sample_synthetic_chunks(
+            self.noisy,
+            self.table_attributes,
+            self.source_n if n is None else n,
+            rng,
+            chunk_rows,
+        )
+
 
 class PrivBayes:
     """High-level entry point: ``PrivBayes(epsilon=...).fit_sample(table)``."""
@@ -154,11 +177,20 @@ class PrivBayes:
     # ------------------------------------------------------------------
     def fit(
         self,
-        table: Table,
+        table,
         rng: Optional[np.random.Generator] = None,
         scoring_cache=None,
     ) -> PrivBayesModel:
         """Run phases 1 and 2 (network + distribution learning).
+
+        ``table`` is a resident :class:`~repro.data.Table` or any
+        :class:`~repro.data.chunks.ChunkedSource`: both phases touch the
+        data only through contingency counts, which accumulate chunk by
+        chunk on a source — one streaming pass per greedy round plus one
+        for distribution learning, in memory bounded by the chunk size,
+        with bit-identical counts (noise draws depend only on those
+        counts and the rng, so a ``TableChunks`` view of a table yields
+        the exact release the resident fit produces).
 
         ``scoring_cache`` is an optional
         :class:`~repro.core.scoring.ScoringCache`; pass one when fitting
@@ -220,12 +252,17 @@ class PrivBayes:
 
     def fit_sample(
         self,
-        table: Table,
+        table,
         rng: Optional[np.random.Generator] = None,
         n: Optional[int] = None,
         scoring_cache=None,
     ) -> Table:
-        """Full pipeline: fit, then sample a synthetic table."""
+        """Full pipeline: fit, then sample a synthetic table.
+
+        ``table`` may be a resident table or a chunked source (see
+        :meth:`fit`); the returned synthetic table is always resident —
+        use ``fit(...).sample_chunks()`` for a streaming release.
+        """
         rng = fallback_rng(rng)
         return self.fit(table, rng, scoring_cache=scoring_cache).sample(n, rng)
 

@@ -11,18 +11,104 @@ model and cached on the :class:`~repro.core.noisy_conditionals.ConditionalTable`
 ``np.cumsum``.  Binary children take a single-comparison fast path that
 draws the same uniforms and returns the same codes as the general CDF
 inversion.
+
+CDF inversion
+-------------
+The general path historically materialized the full ``(n, child_size)``
+comparison ``uniforms[:, None] > cdf[parent_rows]`` and summed it — O(n·C)
+work and memory per draw batch.  :func:`invert_row_cdfs` replaces that with
+a vectorized binary search over the CDF columns: O(n·log C) gathers, no
+``n × C`` intermediate, and — because each probe evaluates the *same*
+``cdf < u`` predicate on the same floats — a provably identical result
+(the count of CDF entries strictly below the uniform equals the lower
+bound of the first entry at or above it, by monotonicity of each CDF
+row).  :func:`broadcast_invert_row_cdfs` keeps the reference
+implementation for the equivalence tests and the scaling benchmark.
+
+Streaming releases
+------------------
+:func:`sample_synthetic_chunks` yields the release as bounded-size chunk
+tables instead of one resident ``n × d`` table, for
+:func:`repro.data.io.write_csv` to stream to disk.  Each attribute draws
+from its own ``rng.spawn`` child stream, so the concatenated output is
+invariant to the chunk size (stream ``i`` emits the same ``n`` uniforms in
+the same order no matter how they are split across chunks).  Note this is
+a *different* (equally seeded-deterministic) stream than the single-stream
+:func:`sample_synthetic`, whose draw order interleaves attributes.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence
+from typing import Callable, Dict, Iterator, Optional, Sequence
 
 import numpy as np
 
 from repro.core.noisy_conditionals import ConditionalTable, NoisyModel
 from repro.core.rng import fallback_rng
 from repro.data.attribute import Attribute
+from repro.data.chunks import DEFAULT_CHUNK_ROWS
 from repro.data.table import Table
+
+
+def broadcast_invert_row_cdfs(
+    cdf: np.ndarray, rows: np.ndarray, uniforms: np.ndarray
+) -> np.ndarray:
+    """Reference CDF inversion: full ``(n, C)`` comparison, then sum.
+
+    For each tuple ``t``, counts how many entries of ``cdf[rows[t]]`` its
+    uniform strictly exceeds.  Kept as the brute-force reference that
+    :func:`invert_row_cdfs` is tested against (and benchmarked against in
+    ``benchmarks/test_bench_scale.py``); O(n·C) time and memory.
+    """
+    return (uniforms[:, None] > cdf[rows]).sum(axis=1).astype(np.int64)
+
+
+def invert_row_cdfs(
+    cdf: np.ndarray, rows: np.ndarray, uniforms: np.ndarray
+) -> np.ndarray:
+    """Batched per-row CDF inversion by vectorized binary search.
+
+    ``cdf`` is a ``(rows, C)`` matrix of nondecreasing row CDFs,
+    ``rows[t]`` selects tuple ``t``'s row and ``uniforms[t]`` its draw.
+    Returns, per tuple, the first column index whose CDF value is
+    ``>= uniform`` — equivalently the number of entries strictly below it,
+    exactly what :func:`broadcast_invert_row_cdfs` computes: every binary-
+    search probe evaluates the identical ``cdf < u`` float comparison, and
+    the probed predicate is monotone along each (nondecreasing) CDF row,
+    so the two inversions agree bit for bit on every input.  O(n·log C)
+    gathers instead of an ``n × C`` broadcast.
+    """
+    count = rows.shape[0]
+    width = cdf.shape[1]
+    lo = np.zeros(count, dtype=np.int64)
+    hi = np.full(count, width, dtype=np.int64)
+    while True:
+        active = lo < hi
+        if not active.any():
+            return lo
+        mid = (lo + hi) >> 1
+        # Converged lanes may sit at mid == width; clamp their (discarded)
+        # probe index instead of branching per lane.
+        below = cdf[rows, np.minimum(mid, width - 1)] < uniforms
+        lo = np.where(active & below, mid + 1, lo)
+        hi = np.where(active & ~below, mid, hi)
+
+
+def _invert_conditional(
+    conditional: ConditionalTable,
+    parent_rows: np.ndarray,
+    uniforms: np.ndarray,
+) -> np.ndarray:
+    """Map uniforms to child codes through the conditional's row CDFs.
+
+    For binary children only the first CDF column can be exceeded
+    (uniforms lie in ``[0, 1)`` and the last column is exactly 1.0), so
+    one gather + one comparison yields the identical codes.
+    """
+    if conditional.child_size == 2:
+        thresholds = conditional.binary_thresholds
+        return (uniforms > thresholds[parent_rows]).astype(np.int64)
+    return invert_row_cdfs(conditional.row_cdfs, parent_rows, uniforms)
 
 
 def _sample_rows(
@@ -30,19 +116,69 @@ def _sample_rows(
     parent_rows: np.ndarray,
     rng: np.random.Generator,
 ) -> np.ndarray:
-    """Draw one child value per tuple from the conditional's row CDFs.
-
-    The general path counts, per tuple, how many CDF entries the uniform
-    strictly exceeds.  For binary children only the first CDF column can be
-    exceeded (uniforms lie in ``[0, 1)`` and the last column is exactly
-    1.0), so one gather + one comparison yields the identical codes.
-    """
+    """Draw one child value per tuple from the conditional's row CDFs."""
     uniforms = rng.random(parent_rows.shape[0])
-    if conditional.child_size == 2:
-        thresholds = conditional.binary_thresholds
-        return (uniforms > thresholds[parent_rows]).astype(np.int64)
-    cdf = conditional.row_cdfs
-    return (uniforms[:, None] > cdf[parent_rows]).sum(axis=1).astype(np.int64)
+    return _invert_conditional(conditional, parent_rows, uniforms)
+
+
+def _check_schema(
+    model: NoisyModel, attributes: Sequence[Attribute]
+) -> Dict[str, Attribute]:
+    """Validate that the network places exactly the requested schema."""
+    by_name: Dict[str, Attribute] = {a.name: a for a in attributes}
+    placed = {pair.child for pair in model.network}
+    missing = [a.name for a in attributes if a.name not in placed]
+    if missing:
+        raise ValueError(
+            "model's network does not place schema attribute(s) "
+            f"{missing}; a truncated or custom network cannot synthesize "
+            "columns for them"
+        )
+    unknown = sorted(placed - set(by_name))
+    if unknown:
+        raise ValueError(
+            f"model's network places attribute(s) {unknown} that are not "
+            "in the requested schema"
+        )
+    return by_name
+
+
+def _ancestral_block(
+    model: NoisyModel,
+    by_name: Dict[str, Attribute],
+    n: int,
+    draw: Callable[[int, ConditionalTable, np.ndarray], np.ndarray],
+) -> Dict[str, np.ndarray]:
+    """Sample one block of ``n`` tuples, attribute by attribute.
+
+    ``draw(index, conditional, parent_rows)`` produces the child codes of
+    the network's ``index``-th attribute — a single shared stream through
+    :func:`_sample_rows` for the monolithic path, one spawned stream per
+    attribute for the chunked path.
+    """
+    sampled: Dict[str, np.ndarray] = {}
+    for index, pair in enumerate(model.network):
+        conditional = model.conditional_for(pair.child)
+        if pair.parents:
+            parent_codes = []
+            for name, level in pair.parents:
+                codes = sampled[name]
+                if level != 0:
+                    codes = by_name[name].generalization_map(level)[codes]
+                parent_codes.append(codes)
+            # Mixed-radix accumulation, same integer arithmetic as
+            # data.marginals.flatten_index without its stack/validation
+            # overhead per draw batch: the conditional's matrix shape
+            # already proves the parent domain fits int64 indexing.
+            rows = parent_codes[0]
+            for codes, size in zip(
+                parent_codes[1:], conditional.parent_sizes[1:]
+            ):
+                rows = rows * int(size) + codes
+        else:
+            rows = np.zeros(n, dtype=np.int64)
+        sampled[pair.child] = draw(index, conditional, rows)
+    return sampled
 
 
 def sample_synthetic(
@@ -70,43 +206,15 @@ def sample_synthetic(
     rng = fallback_rng(rng)
     if n < 0:
         raise ValueError("n must be non-negative")
-    by_name: Dict[str, Attribute] = {a.name: a for a in attributes}
-    placed = {pair.child for pair in model.network}
-    missing = [a.name for a in attributes if a.name not in placed]
-    if missing:
-        raise ValueError(
-            "model's network does not place schema attribute(s) "
-            f"{missing}; a truncated or custom network cannot synthesize "
-            "columns for them"
-        )
-    unknown = sorted(placed - set(by_name))
-    if unknown:
-        raise ValueError(
-            f"model's network places attribute(s) {unknown} that are not "
-            "in the requested schema"
-        )
-    sampled: Dict[str, np.ndarray] = {}
-    for pair in model.network:
-        conditional = model.conditional_for(pair.child)
-        if pair.parents:
-            parent_codes = []
-            for name, level in pair.parents:
-                codes = sampled[name]
-                if level != 0:
-                    codes = by_name[name].generalization_map(level)[codes]
-                parent_codes.append(codes)
-            # Mixed-radix accumulation, same integer arithmetic as
-            # data.marginals.flatten_index without its stack/validation
-            # overhead per draw batch: the conditional's matrix shape
-            # already proves the parent domain fits int64 indexing.
-            rows = parent_codes[0]
-            for codes, size in zip(
-                parent_codes[1:], conditional.parent_sizes[1:]
-            ):
-                rows = rows * int(size) + codes
-        else:
-            rows = np.zeros(n, dtype=np.int64)
-        sampled[pair.child] = _sample_rows(conditional, rows, rng)
+    by_name = _check_schema(model, attributes)
+    # _sample_rows is resolved at call time so the benchmark's seed-path
+    # reference implementation can be swapped in for timing comparisons.
+    sampled = _ancestral_block(
+        model,
+        by_name,
+        n,
+        lambda index, conditional, rows: _sample_rows(conditional, rows, rng),
+    )
     ordered_attrs = [by_name[a.name] for a in attributes]
     # Codes are in [0, attr.size) by construction (each draw inverts a
     # conditional with exactly attr.size columns), so skip the validating
@@ -114,3 +222,55 @@ def sample_synthetic(
     return Table.from_trusted_columns(
         ordered_attrs, {a.name: sampled[a.name] for a in ordered_attrs}
     )
+
+
+def sample_synthetic_chunks(
+    model: NoisyModel,
+    attributes: Sequence[Attribute],
+    n: int,
+    rng: Optional[np.random.Generator] = None,
+    chunk_rows: int = DEFAULT_CHUNK_ROWS,
+) -> Iterator[Table]:
+    """Sample ``n`` synthetic tuples as a stream of bounded-size chunks.
+
+    Yields :class:`~repro.data.Table` chunks of at most ``chunk_rows``
+    rows whose concatenation is the full release — feed them straight to
+    :func:`repro.data.io.write_csv` and a million-row release never holds
+    more than one chunk of codes in memory.  At least one (possibly
+    empty) chunk is always yielded, so the schema survives ``n == 0``.
+
+    Determinism: the parent stream spawns one child stream per network
+    attribute (``rng.spawn``), and stream ``i`` draws attribute ``i``'s
+    ``n`` uniforms in row order across chunks — so for a fixed seed the
+    concatenated release is **invariant to ``chunk_rows``** (asserted in
+    ``tests/core/test_sampler.py``).  The draw order differs from the
+    single-stream :func:`sample_synthetic`, so the two paths are each
+    deterministic but not bit-identical to each other.
+    """
+    rng = fallback_rng(rng)
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    if chunk_rows < 1:
+        raise ValueError("chunk_rows must be positive")
+    by_name = _check_schema(model, attributes)
+    ordered_attrs = [by_name[a.name] for a in attributes]
+    streams = rng.spawn(model.network.d)
+    start = 0
+    while True:
+        count = min(chunk_rows, n - start)
+        sampled = _ancestral_block(
+            model,
+            by_name,
+            count,
+            lambda index, conditional, rows: _invert_conditional(
+                conditional, rows, streams[index].random(rows.shape[0])
+            ),
+        )
+        # Codes are in-range by construction, exactly as in
+        # sample_synthetic; skip the validating constructor's scans.
+        yield Table.from_trusted_columns(
+            ordered_attrs, {a.name: sampled[a.name] for a in ordered_attrs}
+        )
+        start += count
+        if start >= n:
+            return

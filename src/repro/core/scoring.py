@@ -105,7 +105,13 @@ class CandidateScorer:
     Parameters
     ----------
     table:
-        The sensitive dataset.
+        The sensitive dataset: a resident :class:`~repro.data.Table` or a
+        :class:`~repro.data.chunks.ChunkedSource`.  On a chunked source
+        every contingency accumulates chunk by chunk (exact int64
+        addition), and :meth:`score_batch` counts all of a round's
+        unscored parent-set groups in a *single* pass over the rows, so a
+        greedy fit costs one data scan per round in memory bounded by the
+        chunk size.  Scores are bit-identical either way.
     score:
         One of ``'I' | 'F' | 'R'`` (Table 4 of the paper).
     incremental:
@@ -121,7 +127,7 @@ class CandidateScorer:
 
     def __init__(
         self,
-        table: Table,
+        table,
         score: str,
         incremental: bool = True,
         parent_index=None,
@@ -133,7 +139,10 @@ class CandidateScorer:
         # package import order (bn.structure_search imports scoring).
         from repro.bn.quality import ParentIndexCache
 
-        if parent_index is not None and parent_index.table is not table:
+        self._resident = isinstance(table, Table)
+        if parent_index is not None and (
+            not self._resident or parent_index.table is not table
+        ):
             raise ValueError("parent_index was built for a different table")
         self.table = table
         self.score = score
@@ -142,9 +151,16 @@ class CandidateScorer:
         #: Per-row flattened parent configurations; shareable with the
         #: distribution learner's JointCounter (via ScoringCache) so parent
         #: sets selected during structure search are never re-flattened.
-        self._parent_index_cache = (
-            parent_index if parent_index is not None else ParentIndexCache(table)
-        )
+        #: Only resident tables have one — a chunked source has no per-row
+        #: arrays to cache; its flattening happens inside each pass.
+        if self._resident:
+            self._parent_index_cache = (
+                parent_index
+                if parent_index is not None
+                else ParentIndexCache(table)
+            )
+        else:
+            self._parent_index_cache = None
         self._score_memo: Dict[Candidate, float] = {}
         self._sensitivity_memo: Dict[Candidate, float] = {}
         self._parent_domain: Dict[Tuple, int] = {}
@@ -168,8 +184,17 @@ class CandidateScorer:
         self, child: str, parents: Tuple[Tuple[str, int], ...]
     ) -> Tuple[np.ndarray, int]:
         """Contingency counts ``Pr[Π, X]`` (child innermost)."""
-        parent_flat, parent_dom = self._parent_index(parents)
         child_attr = self.table.attribute(child)
+        if not self._resident:
+            from repro.data.chunks import stream_stacked_joint_counts
+
+            block, offsets, lengths, _, _ = stream_stacked_joint_counts(
+                self.table, parents, [child]
+            )
+            return block[offsets[0] : offsets[0] + lengths[0]].astype(
+                float
+            ), child_attr.size
+        parent_flat, parent_dom = self._parent_index(parents)
         ensure_int64_domain(
             parent_dom * child_attr.size, f"joint domain of ({child!r}, Π)"
         )
@@ -225,8 +250,22 @@ class CandidateScorer:
         Stacks the per-child flattened joints into one ``np.bincount`` over
         offset-shifted indices; the resulting integer count segments are
         identical to the per-candidate ones, so downstream score floats are
-        bit-identical to the unbatched path.
+        bit-identical to the unbatched path.  On a chunked source the same
+        block accumulates over one streaming pass.
         """
+        if not self._resident:
+            from repro.data.chunks import stream_stacked_joint_counts
+
+            block, offsets, lengths, parent_sizes, child_sizes = (
+                stream_stacked_joint_counts(self.table, parents, children)
+            )
+            return (
+                domain_size(parent_sizes),
+                list(child_sizes),
+                block,
+                offsets,
+                lengths,
+            )
         parent_flat, parent_dom = self._parent_index(parents)
         sizes = [self.table.attribute(c).size for c in children]
         block, offsets, lengths = stacked_joint_counts(
@@ -237,17 +276,61 @@ class CandidateScorer:
         )
         return parent_dom, sizes, block, offsets, lengths
 
+    def _counted_groups(self, groups: Dict[Tuple, List[str]]):
+        """Count every unscored group of a round; one streaming pass total.
+
+        Returns ``[(parents, children, group_counts), ...]`` where
+        ``group_counts`` is the :meth:`_group_counts` tuple.  Resident
+        tables count per group off the cached parent index; a chunked
+        source counts *all* groups in a single pass over the rows (see
+        :func:`repro.data.chunks.stream_grouped_joint_counts`) — the
+        blocks are the same integers either way.
+        """
+        items = [(parents, list(children)) for parents, children in groups.items()]
+        if self._resident:
+            return [
+                (parents, children, self._group_counts(parents, children))
+                for parents, children in items
+            ]
+        from repro.data.chunks import stream_grouped_joint_counts
+
+        counted = stream_grouped_joint_counts(
+            self.table,
+            [(parents, tuple(children)) for parents, children in items],
+        )
+        results = []
+        for (parents, children), group in zip(items, counted):
+            block, offsets, lengths, parent_sizes, child_sizes = group
+            results.append(
+                (
+                    parents,
+                    children,
+                    (
+                        domain_size(parent_sizes),
+                        list(child_sizes),
+                        block,
+                        offsets,
+                        lengths,
+                    ),
+                )
+            )
+        return results
+
     def _score_group(
-        self, parents: Tuple[Tuple[str, int], ...], children: Sequence[str]
+        self,
+        parents: Tuple[Tuple[str, int], ...],
+        children: Sequence[str],
+        counted=None,
     ) -> None:
         """Score every listed child against one parent set (``I``/``R``).
 
         Children are stacked by domain size and handed to the batched
         kernels; the kernels are bit-equal to the scalar score functions on
-        each candidate's joint.
+        each candidate's joint.  ``counted`` optionally supplies the
+        group's :meth:`_group_counts` tuple (from a shared streaming pass).
         """
-        parent_dom, sizes, block, offsets, lengths = self._group_counts(
-            parents, children
+        parent_dom, sizes, block, offsets, lengths = (
+            counted if counted is not None else self._group_counts(parents, children)
         )
         n = self.table.n
         kernel = score_I_batch if self.score == "I" else score_R_batch
@@ -264,30 +347,27 @@ class CandidateScorer:
             for (position, _, _), value in zip(members, values):
                 self._score_memo[(children[position], parents)] = float(value)
 
-    def _score_F_groups(
-        self, groups: Dict[Tuple, Sequence[str]]
-    ) -> None:
+    def _score_F_groups(self, counted_groups) -> None:
         """Score all unscored ``F`` candidates of a round in batched kernels.
 
         Counting stays per parent set (each set has its own flattened row
-        index), but scoring batches *across* parent sets: every candidate
-        whose parent set has the same domain size joins one
+        index; one shared streaming pass on a chunked source), but scoring
+        batches *across* parent sets: every candidate whose parent set has
+        the same domain size joins one
         :func:`repro.core.score_kernels.score_F_batch` call, so a greedy
         round costs a handful of kernel invocations instead of one dynamic
         program per candidate.
         """
         n = self.table.n
         by_dom: Dict[int, Tuple[List[Candidate], List[np.ndarray]]] = {}
-        for parents, children in groups.items():
+        for parents, children, counted in counted_groups:
             for child in children:
                 if self.table.attribute(child).size != 2:
                     raise ValueError(
                         f"score 'F' requires a binary child; {child!r} has "
                         f"{self.table.attribute(child).size} values"
                     )
-            parent_dom, _, block, offsets, lengths = self._group_counts(
-                parents, children
-            )
+            parent_dom, _, block, offsets, lengths = counted
             cands, segments = by_dom.setdefault(parent_dom, ([], []))
             for child, offset, length in zip(children, offsets, lengths):
                 cands.append((child, parents))
@@ -317,14 +397,15 @@ class CandidateScorer:
         for child, parents in candidates:
             if (child, parents) not in self._score_memo:
                 groups.setdefault(parents, {})[child] = None
-        if self.score == "F":
-            if groups:
-                self._score_F_groups(
-                    {parents: list(children) for parents, children in groups.items()}
-                )
-        else:
-            for parents, children in groups.items():
-                self._score_group(parents, list(children))
+        if groups:
+            counted_groups = self._counted_groups(
+                {parents: list(children) for parents, children in groups.items()}
+            )
+            if self.score == "F":
+                self._score_F_groups(counted_groups)
+            else:
+                for parents, children, counted in counted_groups:
+                    self._score_group(parents, children, counted)
         return np.array([self._score_memo[cand] for cand in candidates])
 
     # ------------------------------------------------------------------
@@ -509,21 +590,25 @@ class ScoringCache:
         for scorer_key in [k for k in self._scorers if k[0] == key]:
             del self._scorers[scorer_key]
 
-    def parent_index(self, table: Table):
+    def parent_index(self, table):
         """Shared :class:`~repro.bn.quality.ParentIndexCache` for ``table``.
 
         Handed to both the table's scorers and its joint counter, so a
         parent set flattened during structure search is reused verbatim by
-        distribution learning.
+        distribution learning.  Chunked sources have no per-row arrays to
+        cache, so this returns ``None`` for them (scorer and counter then
+        flatten inside each streaming pass).
         """
         from repro.bn.quality import ParentIndexCache
 
+        if not isinstance(table, Table):
+            return None
         key = self._register(table)
         if key not in self._parent_indexes:
             self._parent_indexes[key] = ParentIndexCache(table)
         return self._parent_indexes[key]
 
-    def scorer(self, table: Table, score: str) -> CandidateScorer:
+    def scorer(self, table, score: str) -> CandidateScorer:
         key = (self._register(table), score)
         if key not in self._scorers:
             self._scorers[key] = CandidateScorer(
@@ -537,7 +622,7 @@ class ScoringCache:
             self._mi_caches[key] = MutualInformationCache(table)
         return self._mi_caches[key]
 
-    def joint_counter(self, table: Table):
+    def joint_counter(self, table):
         """Shared :class:`~repro.core.noisy_conditionals.JointCounter`.
 
         Contingency counts are data statistics like scores and MI, so the

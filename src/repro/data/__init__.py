@@ -10,6 +10,12 @@ integer codes; string labels exist only at the boundary for decoding.
 from repro.data.attribute import Attribute, AttributeKind, discretize_continuous
 from repro.data.taxonomy import TaxonomyTree
 from repro.data.table import Table
+from repro.data.chunks import (
+    ChunkedSource,
+    DEFAULT_CHUNK_ROWS,
+    IterableChunks,
+    TableChunks,
+)
 from repro.data.marginals import (
     domain_size,
     flatten_index,
@@ -24,6 +30,10 @@ __all__ = [
     "AttributeKind",
     "TaxonomyTree",
     "Table",
+    "ChunkedSource",
+    "TableChunks",
+    "IterableChunks",
+    "DEFAULT_CHUNK_ROWS",
     "discretize_continuous",
     "domain_size",
     "flatten_index",

@@ -138,6 +138,48 @@ class Attribute:
         return Attribute(name=name, values=values, kind=AttributeKind.BINARY)
 
 
+def continuous_attribute(
+    name: str, low: float, high: float, bins: int = DEFAULT_BINS
+) -> Tuple[Attribute, np.ndarray]:
+    """Equi-width continuous attribute over ``[low, high]`` plus its bin edges.
+
+    The schema half of :func:`discretize_continuous`, split out so
+    streaming readers can infer the attribute from a range scan alone and
+    encode rows chunk by chunk with :func:`encode_continuous` — producing
+    the identical attribute and codes the one-shot path builds.
+    """
+    if bins < 2:
+        raise ValueError("need at least 2 bins")
+    lo = float(low)
+    hi = float(high)
+    if not hi > lo:
+        hi = lo + 1.0
+    edges = np.linspace(lo, hi, bins + 1)
+    labels = tuple(
+        f"({edges[i]:g}, {edges[i + 1]:g}]" for i in range(bins)
+    )
+    taxonomy = TaxonomyTree.balanced_binary(labels)
+    attr = Attribute(
+        name=name,
+        values=labels,
+        kind=AttributeKind.CONTINUOUS,
+        taxonomy=taxonomy,
+    )
+    return attr, edges
+
+
+def encode_continuous(edges: np.ndarray, data: np.ndarray) -> np.ndarray:
+    """Bin a float column against precomputed equi-width ``edges``.
+
+    Pure per-element binning (no data-dependent state), so encoding a
+    column in chunks yields exactly the codes of encoding it whole.
+    """
+    bins = edges.shape[0] - 1
+    data = np.asarray(data, dtype=float)
+    codes = np.clip(np.searchsorted(edges, data, side="right") - 1, 0, bins - 1)
+    return codes.astype(np.int64)
+
+
 def discretize_continuous(
     name: str,
     data: np.ndarray,
@@ -151,23 +193,8 @@ def discretize_continuous(
     binary taxonomy tree over the bins, per Section 5.1) together with the
     integer-coded column.
     """
-    if bins < 2:
-        raise ValueError("need at least 2 bins")
     data = np.asarray(data, dtype=float)
     lo = float(np.min(data)) if low is None else float(low)
     hi = float(np.max(data)) if high is None else float(high)
-    if not hi > lo:
-        hi = lo + 1.0
-    edges = np.linspace(lo, hi, bins + 1)
-    codes = np.clip(np.searchsorted(edges, data, side="right") - 1, 0, bins - 1)
-    labels = tuple(
-        f"({edges[i]:g}, {edges[i + 1]:g}]" for i in range(bins)
-    )
-    taxonomy = TaxonomyTree.balanced_binary(labels)
-    attr = Attribute(
-        name=name,
-        values=labels,
-        kind=AttributeKind.CONTINUOUS,
-        taxonomy=taxonomy,
-    )
-    return attr, codes.astype(np.int64)
+    attr, edges = continuous_attribute(name, lo, hi, bins=bins)
+    return attr, encode_continuous(edges, data)

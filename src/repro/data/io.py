@@ -5,13 +5,30 @@ CSV into a :class:`~repro.data.Table` (inferring binary / categorical /
 continuous attributes column by column) and writes tables back out with
 their labels, so the synthetic release round-trips through the same
 format as the input.
+
+Two reading paths share one schema-inference core:
+
+* :func:`read_csv` — resident: the whole file becomes a ``Table``.
+* :class:`CsvSource` — streaming: pass 1 scans the file once to infer the
+  schema (per-column distinct values and numeric ranges — memory bounded
+  by the domain, not the row count), pass 2 re-reads and encodes
+  fixed-size chunks on demand.  ``read_csv`` is literally
+  ``Table.from_chunks`` over a ``CsvSource``, so the two paths cannot
+  drift apart.
+
+:func:`write_csv` accepts a resident table, a chunked source, or an
+iterator of chunk tables (e.g.
+:func:`repro.core.sampler.sample_synthetic_chunks`), decoding labels with
+one vectorized gather per attribute and writing rows chunk by chunk — a
+million-row release never materializes ``n × d`` decoded labels.
 """
 
 from __future__ import annotations
 
 import csv
+import itertools
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence, Union
+from typing import Callable, Dict, Iterable, Iterator, List, Mapping, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -19,8 +36,10 @@ from repro.data.attribute import (
     Attribute,
     AttributeKind,
     DEFAULT_BINS,
-    discretize_continuous,
+    continuous_attribute,
+    encode_continuous,
 )
+from repro.data.chunks import ChunkedSource, DEFAULT_CHUNK_ROWS, TableChunks
 from repro.data.table import Table
 
 PathLike = Union[str, Path]
@@ -28,6 +47,9 @@ PathLike = Union[str, Path]
 #: Columns whose distinct-value count exceeds this and parse as numbers
 #: are treated as continuous and binned.
 CONTINUOUS_THRESHOLD = 20
+
+#: Rows per encode/write batch when a resident table is written out.
+WRITE_CHUNK_ROWS = 32_768
 
 
 def _is_numeric(values: List[str]) -> bool:
@@ -37,6 +59,68 @@ def _is_numeric(values: List[str]) -> bool:
         return True
     except ValueError:
         return False
+
+
+class _ColumnSchema:
+    """Streaming accumulator for one column's inferred schema.
+
+    Holds the distinct stripped values seen so far (plus, for numeric
+    columns, nothing extra — the range comes from the distinct set), so
+    its memory is bounded by the column's domain, never by the row count.
+    ``finalize`` reproduces :func:`infer_attribute`'s decision exactly and
+    returns the attribute plus a chunk encoder.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        bins: int = DEFAULT_BINS,
+        continuous_threshold: int = CONTINUOUS_THRESHOLD,
+    ) -> None:
+        self.name = name
+        self.bins = bins
+        self.continuous_threshold = continuous_threshold
+        self._distinct: set = set()
+
+    def add(self, value: str) -> None:
+        self._distinct.add(value)
+
+    def finalize(self) -> Tuple[Attribute, Callable[[Sequence[str]], np.ndarray]]:
+        """The inferred attribute and an encoder for (chunks of) raw values.
+
+        * ≤ 2 distinct values → binary (a single-valued column is padded
+          with a ``__other_<label>`` placeholder — see the caveat on
+          :func:`infer_attribute`);
+        * numeric with more than ``continuous_threshold`` distinct values
+          → continuous, discretized into ``bins`` equi-width bins over the
+          observed min/max;
+        * otherwise categorical over the sorted distinct labels.
+        """
+        distinct = sorted(self._distinct)
+        if len(distinct) < 1:
+            raise ValueError(f"column {self.name!r} is empty")
+        if len(distinct) <= 2:
+            if len(distinct) == 1:
+                distinct = distinct + [f"__other_{distinct[0]}"]
+            attr = Attribute(self.name, tuple(distinct), AttributeKind.BINARY)
+            return attr, attr.encode
+        if _is_numeric(distinct) and len(distinct) > self.continuous_threshold:
+            # min/max over the distinct set equal min/max over all values
+            # (every value's parse is in the set), so the bin edges match
+            # the one-shot full-column scan exactly.
+            floats = [float(v) for v in distinct]
+            attr, edges = continuous_attribute(
+                self.name, min(floats), max(floats), bins=self.bins
+            )
+
+            def encode(values: Sequence[str]) -> np.ndarray:
+                return encode_continuous(
+                    edges, np.array([float(v) for v in values])
+                )
+
+            return attr, encode
+        attr = Attribute(self.name, tuple(distinct), AttributeKind.CATEGORICAL)
+        return attr, attr.encode
 
 
 def infer_attribute(
@@ -51,20 +135,123 @@ def infer_attribute(
     * numeric with more than ``continuous_threshold`` distinct values →
       continuous, discretized into ``bins`` equi-width bins;
     * otherwise categorical over the sorted distinct labels.
+
+    .. caution::
+       A column with a **single** distinct value is padded to a binary
+       domain with a synthetic ``__other_<label>`` second value (several
+       layers assume ≥ 2-value domains).  The placeholder never appears in
+       the encoded input (all codes are 0), but a *noisy* release learns a
+       perturbed distribution over both values, so synthetic rows can emit
+       the placeholder label.  ``tests/data/test_io.py`` pins this
+       behavior with a round-trip test; downstream consumers of released
+       CSVs should treat ``__other_*`` labels as "the constant column's
+       other value".
     """
-    distinct = sorted(set(values))
-    if len(distinct) < 1:
-        raise ValueError(f"column {name!r} is empty")
-    if len(distinct) <= 2:
-        if len(distinct) == 1:
-            distinct = distinct + [f"__other_{distinct[0]}"]
-        attr = Attribute(name, tuple(distinct), AttributeKind.BINARY)
-        return attr, attr.encode(values)
-    if _is_numeric(distinct) and len(distinct) > continuous_threshold:
-        data = np.array([float(v) for v in values])
-        return discretize_continuous(name, data, bins=bins)
-    attr = Attribute(name, tuple(distinct), AttributeKind.CATEGORICAL)
-    return attr, attr.encode(values)
+    schema = _ColumnSchema(
+        name, bins=bins, continuous_threshold=continuous_threshold
+    )
+    for value in values:
+        schema.add(value)
+    attr, encode = schema.finalize()
+    return attr, encode(values)
+
+
+class CsvSource(ChunkedSource):
+    """Two-pass streaming CSV reader (see the module docstring).
+
+    Pass 1 (at construction) streams the file once: it validates shape
+    (header present, rows non-empty and rectangular — same errors as
+    :func:`read_csv`), counts rows, and accumulates each column's distinct
+    values.  No row data is retained.  Pass 2 (:meth:`chunks`) re-reads
+    the file and encodes ``chunk_rows``-sized column chunks through the
+    same encoders the resident path uses, so chunked and monolithic codes
+    are identical for any chunk size.  The file must not change between
+    passes; a row-count drift raises :class:`ValueError`.
+    """
+
+    def __init__(
+        self,
+        path: PathLike,
+        chunk_rows: int = DEFAULT_CHUNK_ROWS,
+        bins: int = DEFAULT_BINS,
+        continuous_threshold: int = CONTINUOUS_THRESHOLD,
+        delimiter: str = ",",
+    ) -> None:
+        if chunk_rows < 1:
+            raise ValueError("chunk_rows must be positive")
+        self._path = Path(path)
+        self._chunk_rows = int(chunk_rows)
+        self._delimiter = delimiter
+        schemas: List[_ColumnSchema] = []
+        count = 0
+        with self._path.open(newline="") as handle:
+            reader = csv.reader(handle, delimiter=delimiter)
+            try:
+                header = next(reader)
+            except StopIteration:
+                raise ValueError(f"{self._path} is empty") from None
+            width = len(header)
+            schemas = [
+                _ColumnSchema(
+                    name, bins=bins, continuous_threshold=continuous_threshold
+                )
+                for name in header
+            ]
+            for row in reader:
+                if not row:
+                    continue
+                if len(row) != width:
+                    raise ValueError(
+                        f"{self._path}: row {count + 2} has {len(row)} "
+                        f"fields, expected {width}"
+                    )
+                for schema, field in zip(schemas, row):
+                    schema.add(field.strip())
+                count += 1
+        if count == 0:
+            raise ValueError(f"{self._path} has a header but no data rows")
+        finalized = [schema.finalize() for schema in schemas]
+        self._attributes = tuple(attr for attr, _ in finalized)
+        self._encoders = tuple(encode for _, encode in finalized)
+        self._n = count
+
+    def chunks(self) -> Iterator[Mapping[str, np.ndarray]]:
+        names = self.attribute_names
+        width = len(names)
+        seen = 0
+        with self._path.open(newline="") as handle:
+            reader = csv.reader(handle, delimiter=self._delimiter)
+            next(reader)  # header (pass 1 guaranteed it exists)
+            buffer: List[List[str]] = [[] for _ in names]
+            for row in reader:
+                if not row:
+                    continue
+                if len(row) != width or seen >= self._n:
+                    raise ValueError(
+                        f"{self._path} changed between schema inference and "
+                        "chunked reading"
+                    )
+                for column, field in zip(buffer, row):
+                    column.append(field.strip())
+                seen += 1
+                if len(buffer[0]) >= self._chunk_rows:
+                    yield self._encode(names, buffer)
+                    buffer = [[] for _ in names]
+            if seen != self._n:
+                raise ValueError(
+                    f"{self._path} changed between schema inference and "
+                    "chunked reading"
+                )
+            if buffer[0]:
+                yield self._encode(names, buffer)
+
+    def _encode(
+        self, names: Sequence[str], buffer: Sequence[List[str]]
+    ) -> Dict[str, np.ndarray]:
+        return {
+            name: encoder(column)
+            for name, encoder, column in zip(names, self._encoders, buffer)
+        }
 
 
 def read_csv(
@@ -74,43 +261,68 @@ def read_csv(
     delimiter: str = ",",
 ) -> Table:
     """Load a headed CSV file into a table with inferred schema."""
-    path = Path(path)
-    with path.open(newline="") as handle:
-        reader = csv.reader(handle, delimiter=delimiter)
-        try:
-            header = next(reader)
-        except StopIteration:
-            raise ValueError(f"{path} is empty") from None
-        rows = [row for row in reader if row]
-    if not rows:
-        raise ValueError(f"{path} has a header but no data rows")
-    width = len(header)
-    for i, row in enumerate(rows):
-        if len(row) != width:
-            raise ValueError(
-                f"{path}: row {i + 2} has {len(row)} fields, expected {width}"
-            )
-    attributes: List[Attribute] = []
-    columns: Dict[str, np.ndarray] = {}
-    for j, name in enumerate(header):
-        values = [row[j].strip() for row in rows]
-        attr, codes = infer_attribute(
-            name, values, bins=bins, continuous_threshold=continuous_threshold
-        )
-        attributes.append(attr)
-        columns[name] = codes
-    return Table(attributes, columns)
+    source = CsvSource(
+        path,
+        bins=bins,
+        continuous_threshold=continuous_threshold,
+        delimiter=delimiter,
+    )
+    return Table.from_chunks(source.attributes, source.chunks())
 
 
-def write_csv(table: Table, path: PathLike, delimiter: str = ",") -> None:
-    """Write a table's decoded labels to a headed CSV file."""
+def _chunk_stream(
+    source: Union[Table, ChunkedSource, Iterable[Table]],
+) -> Tuple[Tuple[Attribute, ...], Iterator[Mapping[str, np.ndarray]]]:
+    """Normalize any writable source to (attributes, chunk iterator)."""
+    if isinstance(source, Table):
+        return source.attributes, TableChunks(source, WRITE_CHUNK_ROWS).chunks()
+    if isinstance(source, ChunkedSource):
+        return source.attributes, source.chunks()
+    iterator = iter(source)
+    try:
+        first = next(iterator)
+    except StopIteration:
+        raise ValueError(
+            "cannot write an empty chunk stream (no schema); pass a Table "
+            "or a stream with at least one (possibly empty) chunk"
+        ) from None
+
+    def tables_to_chunks() -> Iterator[Mapping[str, np.ndarray]]:
+        for chunk_table in itertools.chain([first], iterator):
+            yield {
+                name: chunk_table.column(name)
+                for name in chunk_table.attribute_names
+            }
+
+    return first.attributes, tables_to_chunks()
+
+
+def write_csv(
+    source: Union[Table, ChunkedSource, Iterable[Table]],
+    path: PathLike,
+    delimiter: str = ",",
+) -> None:
+    """Write decoded labels to a headed CSV file, chunk by chunk.
+
+    ``source`` may be a resident :class:`~repro.data.Table`, any
+    :class:`~repro.data.chunks.ChunkedSource`, or an iterator of chunk
+    tables (the shape :func:`repro.core.sampler.sample_synthetic_chunks`
+    yields) — the streaming release path holds one chunk of decoded labels
+    at a time.  Each attribute decodes with a single ``np.take`` gather
+    over an object array of its labels; output bytes are identical to the
+    historical per-row/per-cell loop.
+    """
+    attributes, chunk_iter = _chunk_stream(source)
+    label_arrays = [
+        np.asarray(attr.values, dtype=object) for attr in attributes
+    ]
     path = Path(path)
     with path.open("w", newline="") as handle:
         writer = csv.writer(handle, delimiter=delimiter)
-        writer.writerow(table.attribute_names)
-        decoders = [attr.values for attr in table.attributes]
-        matrix = table.records()
-        for row in matrix:
-            writer.writerow(
-                [decoders[j][int(code)] for j, code in enumerate(row)]
-            )
+        writer.writerow([attr.name for attr in attributes])
+        for chunk in chunk_iter:
+            decoded = [
+                labels.take(chunk[attr.name])
+                for labels, attr in zip(label_arrays, attributes)
+            ]
+            writer.writerows(zip(*decoded))

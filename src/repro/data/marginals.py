@@ -135,19 +135,30 @@ def segments_by_size(
     return groups
 
 
-def marginal_counts(table: Table, names: Sequence[str]) -> np.ndarray:
+def marginal_counts(table, names: Sequence[str]) -> np.ndarray:
     """Contingency counts of the named attributes as a flat vector.
 
-    The result has ``prod(sizes)`` entries summing to ``table.n``.
-    An empty ``names`` yields the single count ``[n]``.
+    ``table`` is a resident :class:`~repro.data.Table` or any
+    :class:`~repro.data.chunks.ChunkedSource`; for a source the int64
+    bincounts accumulate chunk by chunk, which is exact integer addition,
+    so the result is bit-identical to the resident scan.  The result has
+    ``prod(sizes)`` entries summing to ``table.n``.  An empty ``names``
+    yields the single count ``[n]``.
     """
     sizes = [table.attribute(name).size for name in names]
-    total = domain_size(sizes)
+    total = ensure_int64_domain(domain_size(sizes))
     if not names:
         return np.array([float(table.n)])
-    codes = np.stack([table.column(name) for name in names], axis=1)
-    flat = flatten_index(codes, sizes)
-    return np.bincount(flat, minlength=total).astype(float)
+    if isinstance(table, Table):
+        codes = np.stack([table.column(name) for name in names], axis=1)
+        flat = flatten_index(codes, sizes)
+        return np.bincount(flat, minlength=total).astype(float)
+    accumulated = np.zeros(total, dtype=np.int64)
+    for chunk in table.chunks():
+        codes = np.stack([chunk[name] for name in names], axis=1)
+        flat = flatten_index(codes, sizes)
+        accumulated += np.bincount(flat, minlength=total)
+    return accumulated.astype(float)
 
 
 def joint_distribution(table: Table, names: Sequence[str]) -> np.ndarray:

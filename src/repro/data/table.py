@@ -143,16 +143,28 @@ class Table:
     # Derivations
     # ------------------------------------------------------------------
     def project(self, names: Sequence[str]) -> "Table":
-        """Keep only the named attributes, in the given order."""
+        """Keep only the named attributes, in the given order.
+
+        Invariant: the selected columns passed this table's validating
+        constructor already and are never mutated, so re-running the
+        O(n·d) per-column min/max scans would prove nothing — route
+        through the trusted constructor.
+        """
         attrs = [self.attribute(name) for name in names]
         cols = {name: self._columns[name] for name in names}
-        return Table(attrs, cols)
+        return Table.from_trusted_columns(attrs, cols)
 
     def take(self, indices: np.ndarray) -> "Table":
-        """Row subset/reorder by integer indices."""
+        """Row subset/reorder by integer indices.
+
+        Invariant: every selected code comes out of this table's already-
+        validated columns (out-of-range *indices* still raise IndexError
+        from numpy), so the derived columns are in-range by construction
+        and skip the validating constructor's range scans.
+        """
         indices = np.asarray(indices)
         cols = {name: col[indices] for name, col in self._columns.items()}
-        return Table(self._attributes, cols)
+        return Table.from_trusted_columns(self._attributes, cols)
 
     def head(self, k: int) -> "Table":
         return self.take(np.arange(min(k, self._n)))
@@ -188,18 +200,23 @@ class Table:
         return np.stack([self._columns[a.name] for a in self._attributes], axis=1)
 
     def decoded_records(self, limit: Optional[int] = None) -> List[Tuple]:
-        """Rows as tuples of labels (for display / export)."""
+        """Rows as tuples of labels (for display / export).
+
+        Decoding is one ``np.take`` gather per attribute over an object
+        array of its labels (instead of a Python-level lookup per cell);
+        the resulting tuples are the exact label objects the per-cell
+        path produced.
+        """
         count = self._n if limit is None else min(limit, self._n)
-        matrix = self.records()[:count]
-        rows = []
-        for row in matrix:
-            rows.append(
-                tuple(
-                    self._attributes[j].values[int(code)]
-                    for j, code in enumerate(row)
-                )
+        if self.d == 0:
+            return [() for _ in range(count)]
+        decoded = [
+            np.asarray(attr.values, dtype=object).take(
+                self._columns[attr.name][:count]
             )
-        return rows
+            for attr in self._attributes
+        ]
+        return list(zip(*decoded))
 
     # ------------------------------------------------------------------
     # Constructors
@@ -218,6 +235,42 @@ class Table:
             attr.name: matrix[:, j].copy() for j, attr in enumerate(attributes)
         }
         return Table(attributes, cols)
+
+    @staticmethod
+    def from_chunks(
+        attributes: Sequence[Attribute],
+        chunks: "Iterable[Mapping[str, np.ndarray]]",
+    ) -> "Table":
+        """Concatenate a chunk stream into a resident table.
+
+        ``chunks`` yields ``{name: int64 code array}`` mappings (the
+        :class:`~repro.data.chunks.ChunkedSource` chunk shape); their
+        row-wise concatenation becomes the table.  Use this when a caller
+        wants a chunked source resident — learning does not require it.
+        Chunks may come from outside the library, so the validating
+        constructor's range scans are kept.
+        """
+        attributes = tuple(attributes)
+        parts: Dict[str, List[np.ndarray]] = {a.name: [] for a in attributes}
+        for chunk in chunks:
+            if set(chunk) != set(parts):
+                raise ValueError(
+                    f"chunk columns {sorted(chunk)} do not match schema "
+                    f"{sorted(parts)}"
+                )
+            for attr in attributes:
+                parts[attr.name].append(
+                    np.asarray(chunk[attr.name], dtype=np.int64)
+                )
+        columns = {
+            name: (
+                np.concatenate(arrays)
+                if arrays
+                else np.zeros(0, dtype=np.int64)
+            )
+            for name, arrays in parts.items()
+        }
+        return Table(attributes, columns)
 
     @staticmethod
     def from_labels(

@@ -14,7 +14,9 @@ from repro.datasets.adult import load_adult
 from repro.datasets.br2000 import load_br2000
 from repro.datasets.nltcs import load_nltcs
 from repro.datasets.synthetic import (
+    NetworkSource,
     NodeSpec,
+    random_binary_source,
     random_binary_table,
     random_network_specs,
     sample_network,
@@ -56,7 +58,9 @@ __all__ = [
     "LOADERS",
     "TABLE5",
     "NodeSpec",
+    "NetworkSource",
     "sample_network",
     "random_network_specs",
     "random_binary_table",
+    "random_binary_source",
 ]

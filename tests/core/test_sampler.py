@@ -152,3 +152,192 @@ class TestSampling:
         p = synthetic.column("p")
         q = synthetic.column("q")
         assert ((p >= 2) == (q == 1)).all()
+
+
+class TestCdfInversion:
+    """invert_row_cdfs must agree with the broadcast reference bit for bit."""
+
+    @pytest.mark.parametrize("child_size", [1, 2, 3, 5, 17])
+    def test_matches_broadcast_reference(self, child_size):
+        from repro.core.sampler import (
+            broadcast_invert_row_cdfs,
+            invert_row_cdfs,
+        )
+
+        rng = np.random.default_rng(child_size)
+        n_rows = 11
+        probs = rng.dirichlet(np.ones(child_size), size=n_rows)
+        cdf = np.cumsum(probs, axis=1)
+        cdf[:, -1] = 1.0
+        rows = rng.integers(0, n_rows, 4000)
+        uniforms = rng.random(4000)
+        np.testing.assert_array_equal(
+            invert_row_cdfs(cdf, rows, uniforms),
+            broadcast_invert_row_cdfs(cdf, rows, uniforms),
+        )
+
+    def test_zero_probability_cells_and_duplicates(self):
+        """Repeated CDF values (zero-mass cells) must resolve identically:
+        both inversions count entries *strictly below* the uniform."""
+        from repro.core.sampler import (
+            broadcast_invert_row_cdfs,
+            invert_row_cdfs,
+        )
+
+        cdf = np.array(
+            [
+                [0.0, 0.0, 0.5, 0.5, 1.0],
+                [0.2, 0.2, 0.2, 0.2, 1.0],
+                [1.0, 1.0, 1.0, 1.0, 1.0],
+            ]
+        )
+        rng = np.random.default_rng(0)
+        rows = rng.integers(0, 3, 2000)
+        uniforms = rng.random(2000)
+        np.testing.assert_array_equal(
+            invert_row_cdfs(cdf, rows, uniforms),
+            broadcast_invert_row_cdfs(cdf, rows, uniforms),
+        )
+
+    def test_uniform_exactly_on_cdf_entry(self):
+        """u == cdf entry is the tie case: `cdf < u` is False there, so the
+        entry's own cell is selected — by both implementations."""
+        from repro.core.sampler import (
+            broadcast_invert_row_cdfs,
+            invert_row_cdfs,
+        )
+
+        cdf = np.array([[0.25, 0.5, 0.75, 1.0]])
+        rows = np.zeros(4, dtype=np.int64)
+        uniforms = np.array([0.25, 0.5, 0.75, 0.0])
+        result = invert_row_cdfs(cdf, rows, uniforms)
+        np.testing.assert_array_equal(result, [0, 1, 2, 0])
+        np.testing.assert_array_equal(
+            result, broadcast_invert_row_cdfs(cdf, rows, uniforms)
+        )
+
+    def test_empty_batch(self):
+        from repro.core.sampler import invert_row_cdfs
+
+        result = invert_row_cdfs(
+            np.array([[0.5, 1.0]]),
+            np.zeros(0, dtype=np.int64),
+            np.zeros(0),
+        )
+        assert result.shape == (0,)
+
+
+class TestChunkedSampling:
+    def test_chunks_concatenate_to_full_release(self):
+        from repro.core.sampler import sample_synthetic_chunks
+        from repro.data.table import Table
+
+        model, attrs = _manual_model()
+        chunks = list(
+            sample_synthetic_chunks(
+                model, attrs, 1000, np.random.default_rng(6), chunk_rows=256
+            )
+        )
+        assert [c.n for c in chunks] == [256, 256, 256, 232]
+        release = Table.from_chunks(
+            attrs, ({n: c.column(n) for n in c.attribute_names} for c in chunks)
+        )
+        assert release.n == 1000
+        assert release.attribute_names == ("a", "b")
+
+    @pytest.mark.parametrize("chunk_rows", [1, 7, 999, 1000, 1013])
+    def test_chunk_size_invariance(self, chunk_rows):
+        """One spawned stream per attribute: the concatenated release is
+        the same for every chunk size under a fixed seed."""
+        from repro.core.sampler import sample_synthetic_chunks
+        from repro.data.table import Table
+
+        model, attrs = _manual_model()
+
+        def release(rows):
+            return Table.from_chunks(
+                attrs,
+                (
+                    {n: c.column(n) for n in c.attribute_names}
+                    for c in sample_synthetic_chunks(
+                        model, attrs, 1000, np.random.default_rng(6), rows
+                    )
+                ),
+            )
+
+        reference = release(256)
+        got = release(chunk_rows)
+        for name in reference.attribute_names:
+            np.testing.assert_array_equal(
+                got.column(name), reference.column(name)
+            )
+
+    def test_zero_rows_yields_single_empty_chunk(self):
+        from repro.core.sampler import sample_synthetic_chunks
+
+        model, attrs = _manual_model()
+        chunks = list(
+            sample_synthetic_chunks(model, attrs, 0, np.random.default_rng(0))
+        )
+        assert len(chunks) == 1
+        assert chunks[0].n == 0
+        assert chunks[0].attribute_names == ("a", "b")
+
+    def test_negative_rows_and_bad_chunk_rows_rejected(self):
+        from repro.core.sampler import sample_synthetic_chunks
+
+        model, attrs = _manual_model()
+        with pytest.raises(ValueError):
+            list(
+                sample_synthetic_chunks(
+                    model, attrs, -1, np.random.default_rng(0)
+                )
+            )
+        with pytest.raises(ValueError):
+            list(
+                sample_synthetic_chunks(
+                    model, attrs, 10, np.random.default_rng(0), chunk_rows=0
+                )
+            )
+
+    def test_chunked_marginals_converge(self):
+        """The spawned-stream draw is a different stream than the
+        monolithic sampler, but it targets the same distribution."""
+        from repro.core.sampler import sample_synthetic_chunks
+
+        model, attrs = _manual_model()
+        total = 0
+        ones = 0
+        agree = 0
+        for chunk in sample_synthetic_chunks(
+            model, attrs, 100_000, np.random.default_rng(8), chunk_rows=8192
+        ):
+            a = chunk.column("a")
+            b = chunk.column("b")
+            total += chunk.n
+            ones += int(a.sum())
+            agree += int((a == b).sum())
+        assert total == 100_000
+        assert ones / total == pytest.approx(0.3, abs=0.01)
+        assert agree / total == pytest.approx(0.9, abs=0.01)
+
+    def test_model_sample_chunks_smoke(self, binary_table):
+        """PrivBayesModel.sample_chunks streams the fitted release."""
+        from repro.core.privbayes import PrivBayes
+        from repro.data.table import Table
+
+        model = PrivBayes(epsilon=1.0, k=1, mode="binary").fit(
+            binary_table, np.random.default_rng(11)
+        )
+        chunks = list(
+            model.sample_chunks(rng=np.random.default_rng(12), chunk_rows=700)
+        )
+        assert sum(c.n for c in chunks) == binary_table.n
+        assert all(
+            c.attribute_names == binary_table.attribute_names for c in chunks
+        )
+        release = Table.from_chunks(
+            binary_table.attributes,
+            ({n: c.column(n) for n in c.attribute_names} for c in chunks),
+        )
+        assert release.n == binary_table.n
