@@ -180,6 +180,7 @@ class PrivBayes:
         table,
         rng: Optional[np.random.Generator] = None,
         scoring_cache=None,
+        accountant: Optional[PrivacyAccountant] = None,
     ) -> PrivBayesModel:
         """Run phases 1 and 2 (network + distribution learning).
 
@@ -197,11 +198,33 @@ class PrivBayes:
         many models over the same table (an ε sweep) so candidate scores,
         parent-set enumerations and contingency counts — deterministic
         data statistics — are computed once across all fits.
+
+        ``accountant`` is an optional *external* (e.g. per-dataset)
+        :class:`~repro.dp.accountant.PrivacyAccountant` that this fit
+        charges its whole ``config.epsilon`` into, as **one atomic
+        reservation made before any data is touched** — so repeated fits
+        against the same table compose cumulative ε under sequential
+        composition, and a fit that would exceed the dataset budget
+        raises :class:`~repro.dp.accountant.PrivacyBudgetError` without
+        having looked at a single count.  (Reserving up front, rather
+        than threading the external ledger through the per-phase charges,
+        is what makes the refusal safe: a mid-fit refusal would land
+        *after* the network phase already consumed data access.)  The
+        returned model still carries its own per-phase accountant, and
+        the fit itself — every count, score and noise draw — is
+        bit-identical to ``accountant=None``.
+
+        The default (``accountant=None``) constructs a fresh internal
+        accountant, the historical behavior: no cross-fit composition.
         """
         rng = fallback_rng(rng)
         if table.d == 0 or table.n == 0:
             raise ValueError("cannot fit an empty table")
         config = self.config
+        if accountant is not None:
+            # Reserve before touching counts; raises PrivacyBudgetError
+            # when the dataset budget cannot cover this fit.
+            accountant.spend("privbayes-fit", config.epsilon)
         mode = config.mode
         if mode == "auto":
             all_binary = all(a.size == 2 for a in table.attributes)
@@ -215,6 +238,9 @@ class PrivBayes:
         score = config.score
         if score == "auto":
             score = "F" if mode == "binary" else "R"
+        # The model's own per-phase ledger; the external reservation (if
+        # any) was already taken above, so this stays a fresh accountant
+        # and the phases below are bit-identical either way.
         accountant = PrivacyAccountant(config.epsilon)
         # ε₁ = βε exactly as the historical two-line split (bit-identical).
         epsilon1, epsilon2 = split_epsilon(
@@ -256,15 +282,21 @@ class PrivBayes:
         rng: Optional[np.random.Generator] = None,
         n: Optional[int] = None,
         scoring_cache=None,
+        accountant: Optional[PrivacyAccountant] = None,
     ) -> Table:
         """Full pipeline: fit, then sample a synthetic table.
 
         ``table`` may be a resident table or a chunked source (see
         :meth:`fit`); the returned synthetic table is always resident —
         use ``fit(...).sample_chunks()`` for a streaming release.
+        ``accountant`` forwards to :meth:`fit` (sampling is free
+        post-processing and charges nothing).
         """
         rng = fallback_rng(rng)
-        return self.fit(table, rng, scoring_cache=scoring_cache).sample(n, rng)
+        model = self.fit(
+            table, rng, scoring_cache=scoring_cache, accountant=accountant
+        )
+        return model.sample(n, rng)
 
     # ------------------------------------------------------------------
     def _fit_binary(

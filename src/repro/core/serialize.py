@@ -10,19 +10,54 @@ domains and taxonomies) is embedded so a stored model is self-contained.
 from __future__ import annotations
 
 import json
+import os
+import tempfile
 from pathlib import Path
-from typing import Dict, List, Union
+from typing import Dict, List, Sequence, Union
 
 import numpy as np
 
 from repro.bn.network import APPair, BayesianNetwork
 from repro.core.noisy_conditionals import ConditionalTable, NoisyModel
 from repro.data.attribute import Attribute, AttributeKind
+from repro.data.marginals import domain_size
 from repro.data.taxonomy import TaxonomyTree
 
 PathLike = Union[str, Path]
 
 FORMAT_VERSION = 1
+
+#: Loaded conditionals must have rows summing to 1 within this tolerance
+#: (distribution learning normalizes exactly; JSON round-trips floats
+#: bit-exactly, so real drift here means the file was edited or damaged).
+ROW_SUM_TOLERANCE = 1e-6
+
+
+def atomic_write_text(path: PathLike, text: str) -> None:
+    """Write ``text`` to ``path`` atomically (temp file + ``os.replace``).
+
+    The temporary file lives in the destination's own directory so the
+    final rename never crosses a filesystem; a crash mid-write leaves the
+    previous contents of ``path`` untouched instead of a truncated file —
+    readers see either the old document or the new one, never a prefix.
+    Used by :func:`save_model` and the serving layer's dataset ledger.
+    """
+    path = Path(path)
+    handle, tmp_name = tempfile.mkstemp(
+        dir=str(path.parent), prefix=path.name + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(handle, "w") as tmp_file:
+            tmp_file.write(text)
+            tmp_file.flush()
+            os.fsync(tmp_file.fileno())
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
 
 
 def _taxonomy_to_dict(taxonomy: TaxonomyTree) -> dict:
@@ -93,36 +128,196 @@ def model_to_dict(model: NoisyModel, attributes) -> dict:
     }
 
 
+def _conditional_from_entry(entry: dict, index: int) -> ConditionalTable:
+    """Deserialize + validate one conditional, naming it in every error."""
+    name = entry.get("child") if isinstance(entry, dict) else None
+    label = repr(name) if isinstance(name, str) else f"#{index}"
+    try:
+        child = str(entry["child"])
+        parents = tuple(
+            (str(pname), int(level)) for pname, level in entry["parents"]
+        )
+        parent_sizes = tuple(int(s) for s in entry["parent_sizes"])
+        child_size = int(entry["child_size"])
+        matrix = np.asarray(entry["matrix"], dtype=float)
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ValueError(
+            f"conditional {label}: malformed entry ({exc})"
+        ) from exc
+    if any(size < 1 for size in parent_sizes) or child_size < 1:
+        raise ValueError(
+            f"conditional {label}: domain sizes must be positive; got "
+            f"parent_sizes={parent_sizes}, child_size={child_size}"
+        )
+    expected = (domain_size(parent_sizes), child_size)
+    if matrix.ndim != 2 or matrix.shape != expected:
+        raise ValueError(
+            f"conditional {label}: matrix shape {matrix.shape} != expected "
+            f"{expected} (= (prod(parent_sizes), child_size))"
+        )
+    if not np.isfinite(matrix).all():
+        raise ValueError(
+            f"conditional {label}: matrix contains non-finite entries"
+        )
+    if (matrix < 0).any():
+        raise ValueError(
+            f"conditional {label}: matrix contains negative probabilities"
+        )
+    row_sums = matrix.sum(axis=1)
+    off = np.abs(row_sums - 1.0) > ROW_SUM_TOLERANCE
+    if off.any():
+        row = int(np.argmax(off))
+        raise ValueError(
+            f"conditional {label}: row {row} sums to {row_sums[row]:.6g}, "
+            "not 1 — not a probability distribution"
+        )
+    return ConditionalTable(
+        child=child,
+        parents=parents,
+        parent_sizes=parent_sizes,
+        child_size=child_size,
+        matrix=matrix,
+    )
+
+
+def _parent_level_size(attribute: Attribute, level: int) -> int:
+    if level == 0:
+        return attribute.size
+    if attribute.taxonomy is None:
+        raise ValueError(
+            f"attribute {attribute.name!r} has no taxonomy but is used as "
+            f"a generalized parent at level {level}"
+        )
+    return attribute.taxonomy.level_size(level)
+
+
+def _validate_model(
+    network: BayesianNetwork,
+    conditionals: Sequence[ConditionalTable],
+    attributes: Sequence[Attribute],
+) -> None:
+    """Cross-check network ↔ conditionals ↔ schema before accepting a load.
+
+    A stale or hand-edited document that passed the per-conditional checks
+    can still disagree with itself (a conditional for an attribute the
+    network never places, domain sizes drifted from the schema); catching
+    that here raises a :class:`ValueError` naming the bad conditional
+    instead of a late ``IndexError`` — or silent garbage — deep inside
+    ``sample_synthetic``.
+    """
+    by_name = {a.name: a for a in attributes}
+    cond_by_child: Dict[str, ConditionalTable] = {}
+    for cond in conditionals:
+        if cond.child in cond_by_child:
+            raise ValueError(
+                f"duplicate conditional for child {cond.child!r}"
+            )
+        cond_by_child[cond.child] = cond
+    network_children = [pair.child for pair in network]
+    if sorted(network_children) != sorted(cond_by_child):
+        missing = sorted(set(network_children) - set(cond_by_child))
+        extra = sorted(set(cond_by_child) - set(network_children))
+        raise ValueError(
+            "network children do not match conditionals: "
+            f"missing conditionals for {missing}, "
+            f"conditionals without a network pair: {extra}"
+        )
+    for pair in network:
+        cond = cond_by_child[pair.child]
+        if cond.parents != pair.parents:
+            raise ValueError(
+                f"conditional {pair.child!r}: parents {cond.parents} != "
+                f"network parents {pair.parents}"
+            )
+        attribute = by_name.get(pair.child)
+        if attribute is None:
+            raise ValueError(
+                f"conditional {pair.child!r}: child is not a schema "
+                f"attribute (schema has {sorted(by_name)})"
+            )
+        if cond.child_size != attribute.size:
+            raise ValueError(
+                f"conditional {pair.child!r}: child_size {cond.child_size} "
+                f"!= schema domain size {attribute.size}"
+            )
+        for (pname, level), size in zip(cond.parents, cond.parent_sizes):
+            parent_attr = by_name.get(pname)
+            if parent_attr is None:
+                raise ValueError(
+                    f"conditional {pair.child!r}: parent {pname!r} is not "
+                    "a schema attribute"
+                )
+            expected = _parent_level_size(parent_attr, level)
+            if size != expected:
+                raise ValueError(
+                    f"conditional {pair.child!r}: parent {pname!r} at "
+                    f"level {level} has size {size} != schema size "
+                    f"{expected}"
+                )
+
+
 def model_from_dict(data: dict):
-    """Inverse of :func:`model_to_dict`; returns (model, attributes)."""
+    """Inverse of :func:`model_to_dict`; returns (model, attributes).
+
+    Validates everything it loads — per-conditional (matrix shape equals
+    ``(prod(parent_sizes), child_size)``, entries finite and nonnegative,
+    rows summing to ~1) and cross-document (network children match the
+    conditionals and the schema, parent domains match the attribute /
+    taxonomy-level sizes) — raising :class:`ValueError` that names the
+    bad conditional, so a damaged registry entry fails at load time
+    rather than as garbage samples or a late ``IndexError``.
+    """
     version = data.get("format_version")
     if version != FORMAT_VERSION:
         raise ValueError(f"unsupported model format version {version!r}")
-    attributes = [_attribute_from_dict(a) for a in data["attributes"]]
+    try:
+        attribute_entries = data["attributes"]
+        network_entries = data["network"]
+        conditional_entries = data["conditionals"]
+    except (KeyError, TypeError) as exc:
+        raise ValueError(f"model document is missing section {exc}") from exc
+    attributes = [_attribute_from_dict(a) for a in attribute_entries]
     network = BayesianNetwork(
         [
             APPair.make(entry["child"], [tuple(p) for p in entry["parents"]])
-            for entry in data["network"]
+            for entry in network_entries
         ]
     )
     conditionals = tuple(
-        ConditionalTable(
-            child=entry["child"],
-            parents=tuple((name, int(level)) for name, level in entry["parents"]),
-            parent_sizes=tuple(int(s) for s in entry["parent_sizes"]),
-            child_size=int(entry["child_size"]),
-            matrix=np.asarray(entry["matrix"], dtype=float),
-        )
-        for entry in data["conditionals"]
+        _conditional_from_entry(entry, index)
+        for index, entry in enumerate(conditional_entries)
     )
+    _validate_model(network, conditionals, attributes)
     return NoisyModel(network=network, conditionals=conditionals), attributes
 
 
 def save_model(model: NoisyModel, attributes, path: PathLike) -> None:
-    """Write a model (+ schema) to a JSON file."""
-    Path(path).write_text(json.dumps(model_to_dict(model, attributes)))
+    """Write a model (+ schema) to a JSON file, atomically.
+
+    The document lands via :func:`atomic_write_text`: a crash mid-write
+    cannot leave a truncated registry entry — ``path`` holds either the
+    previous model or the complete new one.
+    """
+    atomic_write_text(path, json.dumps(model_to_dict(model, attributes)))
 
 
 def load_model(path: PathLike):
-    """Load a model saved by :func:`save_model`; returns (model, attrs)."""
-    return model_from_dict(json.loads(Path(path).read_text()))
+    """Load a model saved by :func:`save_model`; returns (model, attrs).
+
+    Raises :class:`ValueError` naming the file for documents that are not
+    valid JSON (e.g. a truncated write from the historical non-atomic
+    path) and for structurally invalid models (see
+    :func:`model_from_dict`).
+    """
+    path = Path(path)
+    try:
+        data = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        raise ValueError(
+            f"model file {path} is not valid JSON (truncated or corrupt "
+            f"write?): {exc}"
+        ) from exc
+    try:
+        return model_from_dict(data)
+    except ValueError as exc:
+        raise ValueError(f"model file {path}: {exc}") from exc

@@ -8,8 +8,9 @@ that would exceed the total budget.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
-from typing import List, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 _TOLERANCE = 1e-9
 
@@ -103,6 +104,18 @@ def scale_for_group_privacy(epsilon: float, group_size: int) -> float:
 class PrivacyAccountant:
     """Ledger of ε spend under sequential composition.
 
+    Thread-safe: :meth:`spend` holds an internal lock around its
+    check-then-append, so concurrent charges (the serving ledger's case —
+    many fits racing against one dataset budget) can never jointly
+    overdraw the total.  A running ``_spent`` total makes each charge and
+    each :attr:`spent` read O(1) instead of an O(ledger) re-sum; the
+    incremental ``+=`` accumulates in exactly the append order ``sum()``
+    over the ledger would use, so the two always agree bitwise.
+
+    The lock is process-local state: pickling (fork-pool results,
+    registry snapshots) drops it and a fresh lock is created on
+    unpickling.
+
     Parameters
     ----------
     total_epsilon:
@@ -116,10 +129,27 @@ class PrivacyAccountant:
     def __post_init__(self) -> None:
         if self.total_epsilon <= 0:
             raise ValueError("total_epsilon must be positive")
+        # Seed the running total from any pre-supplied ledger (replay of a
+        # persisted ledger) in list order — bit-identical to sum().
+        spent = 0.0
+        for _, amount in self._ledger:
+            spent = spent + float(amount)
+        self._spent = spent
+        self._lock = threading.Lock()
+
+    def __getstate__(self) -> Dict:
+        state = dict(self.__dict__)
+        del state["_lock"]  # locks are process-local and unpicklable
+        return state
+
+    def __setstate__(self, state: Dict) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
 
     @property
     def spent(self) -> float:
-        return sum(amount for _, amount in self._ledger)
+        """Total ε charged so far — O(1), maintained under the spend lock."""
+        return self._spent
 
     @property
     def remaining(self) -> float:
@@ -128,27 +158,58 @@ class PrivacyAccountant:
     @property
     def ledger(self) -> List[Tuple[str, float]]:
         """Copy of the (label, ε) charge history."""
-        return list(self._ledger)
+        with self._lock:
+            return list(self._ledger)
 
     def spend(self, label: str, epsilon: float) -> float:
         """Record an ε charge; returns the ε actually granted.
 
         Raises :class:`PrivacyBudgetError` (a :class:`ValueError`) when the
         charge would overdraw the budget by more than floating-point
-        tolerance.
+        tolerance.  The check and the append happen under one lock, so
+        racing spenders are granted at most the total budget between them.
         """
         if epsilon <= 0:
             raise ValueError("charges must be positive")
-        if self.spent + epsilon > self.total_epsilon + _TOLERANCE:
-            raise PrivacyBudgetError(
-                f"charge {label!r} of ε={epsilon:g} exceeds remaining "
-                f"budget {self.remaining:g} (total ε={self.total_epsilon:g})"
-            )
-        self._ledger.append((label, float(epsilon)))
+        with self._lock:
+            if self._spent + epsilon > self.total_epsilon + _TOLERANCE:
+                raise PrivacyBudgetError(
+                    f"charge {label!r} of ε={epsilon:g} exceeds remaining "
+                    f"budget {self.remaining:g} (total ε={self.total_epsilon:g})"
+                )
+            self._ledger.append((label, float(epsilon)))
+            self._spent = self._spent + float(epsilon)
         return float(epsilon)
 
     #: Historical name for :meth:`spend`; kept for existing callers.
     charge = spend
+
+    def unwind(self, count: int = 1) -> None:
+        """Remove the ``count`` most recent charges (transactional rollback).
+
+        For callers that must pair a charge with a second fallible effect
+        (the serving ledger persists each grant to disk): when the effect
+        fails *before any data was touched under the grant*, unwinding
+        restores the ledger so the budget is not burned on a no-op.  Never
+        use this after the granted budget paid for a data access — spent ε
+        cannot be reclaimed.
+        """
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        with self._lock:
+            if count > len(self._ledger):
+                raise ValueError(
+                    f"cannot unwind {count} charges; ledger has "
+                    f"{len(self._ledger)}"
+                )
+            del self._ledger[len(self._ledger) - count :]
+            # Re-accumulate rather than subtract: float subtraction does
+            # not exactly invert addition, and the running total must stay
+            # bit-identical to a left-to-right sum of the ledger.
+            spent = 0.0
+            for _, amount in self._ledger:
+                spent = spent + amount
+            self._spent = spent
 
     def split(
         self, fractions: Sequence[float], remainder: bool = False

@@ -1,0 +1,185 @@
+"""Request-coalescing sampling front end (asyncio, stdlib only).
+
+Serving many small ``sample(n_i)`` requests one by one repeats the whole
+ancestral pass — one uniform block, one CDF inversion and one table
+construction per attribute *per request*.  The coalescer batches instead:
+requests arriving while the event loop drains land in one pending list,
+and a single vectorized draw of ``sum(n_i)`` tuples
+(:func:`~repro.core.sampler.sample_synthetic_split`) is sliced back per
+request.  Slicing is pure post-processing of the one draw, so the
+concatenated responses are **bit-identical** to the equivalent single
+``sample(sum(n_i))`` — coalescing changes throughput, never output.
+
+Determinism contract: the sampler owns one seeded stream; batch ``b``
+draws exactly the uniforms that the concatenation of its requests (in
+arrival order) would have drawn as one call.  Outputs therefore depend on
+request arrival order and batch boundaries — inherent to any shared-
+stream server — but never on thread scheduling *within* a batch, and a
+replay that issues the same requests in the same order with the same
+seed reproduces every response exactly.
+
+The draw itself runs on a single-worker :class:`ThreadPoolExecutor`
+(numpy releases the GIL in the hot loops), keeping the event loop free
+to accumulate the next batch while the current one is being drawn.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.bn.inference import model_marginals
+from repro.core.privbayes import PrivBayesModel
+from repro.core.rng import fallback_rng
+from repro.core.sampler import sample_synthetic_split
+from repro.data.table import Table
+
+
+class CoalescingSampler:
+    """Batches concurrent ``sample`` calls on one resident model.
+
+    Parameters
+    ----------
+    model:
+        A fitted :class:`~repro.core.privbayes.PrivBayesModel` (typically
+        out of the :class:`~repro.serve.registry.ModelRegistry`, caches
+        warm).
+    rng:
+        The sampler's single seeded stream.  Pass one for reproducible
+        serving; the default falls back to OS entropy via the sanctioned
+        :func:`~repro.core.rng.fallback_rng`.
+    executor:
+        Optional executor for the draws.  The default is a private
+        single-worker pool, which also guarantees batches draw from the
+        stream in submission order; a wider custom executor keeps
+        correctness (a lock serializes draws) but may reorder batches.
+    """
+
+    def __init__(
+        self,
+        model: PrivBayesModel,
+        rng: Optional[np.random.Generator] = None,
+        executor: Optional[ThreadPoolExecutor] = None,
+    ) -> None:
+        self._model = model
+        self._rng = fallback_rng(rng)
+        self._own_executor = executor is None
+        self._executor = executor or ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="repro-serve-draw"
+        )
+        self._pending: List[Tuple[int, asyncio.Future]] = []
+        self._drain_scheduled = False
+        self._draw_lock = threading.Lock()
+        self._marginal_cache: Dict[Tuple[Tuple[str, ...], ...], Dict] = {}
+        #: Number of requests served by each coalesced draw, in draw
+        #: order — ``[3, 1]`` means one batch of three then a singleton.
+        self.batch_request_counts: List[int] = []
+        #: Rows drawn per batch (parallel to ``batch_request_counts``).
+        self.batch_row_counts: List[int] = []
+
+    @property
+    def model(self) -> PrivBayesModel:
+        return self._model
+
+    # ------------------------------------------------------------------
+    # Sampling
+    # ------------------------------------------------------------------
+    async def sample(self, n: int) -> Table:
+        """One request for ``n`` synthetic rows; coalesced transparently.
+
+        All requests submitted before the loop reaches the drain callback
+        (e.g. everything scheduled by one ``asyncio.gather``) share a
+        single vectorized draw.
+        """
+        n = int(n)
+        if n < 0:
+            raise ValueError("n must be non-negative")
+        loop = asyncio.get_running_loop()
+        future: asyncio.Future = loop.create_future()
+        self._pending.append((n, future))
+        if not self._drain_scheduled:
+            self._drain_scheduled = True
+            loop.call_soon(self._drain, loop)
+        return await future
+
+    def _drain(self, loop: asyncio.AbstractEventLoop) -> None:
+        batch = self._pending
+        self._pending = []
+        self._drain_scheduled = False
+        if not batch:
+            return
+        counts = [count for count, _ in batch]
+        self.batch_request_counts.append(len(batch))
+        self.batch_row_counts.append(sum(counts))
+        task = loop.run_in_executor(self._executor, self._draw, counts)
+
+        def _resolve(done) -> None:
+            error = done.exception()
+            if error is not None:
+                for _, future in batch:
+                    if not future.done():
+                        future.set_exception(error)
+                return
+            for table, (_, future) in zip(done.result(), batch):
+                if not future.done():
+                    future.set_result(table)
+
+        task.add_done_callback(_resolve)
+
+    def _draw(self, counts: Sequence[int]) -> List[Table]:
+        # Serialize stream access: with a multi-worker custom executor two
+        # batches could otherwise interleave their uniform draws.
+        with self._draw_lock:
+            return sample_synthetic_split(
+                self._model.noisy,
+                self._model.table_attributes,
+                counts,
+                self._rng,
+            )
+
+    # ------------------------------------------------------------------
+    # Model-based marginal answers
+    # ------------------------------------------------------------------
+    async def marginals(self, workload: Sequence[Sequence[str]]) -> Dict:
+        """Answer a marginal workload directly from the model.
+
+        Variable elimination on the fitted network
+        (:func:`~repro.bn.inference.model_marginals`) — deterministic,
+        free of sampling noise, and free of ε (post-processing), so
+        responses are cached per workload for the life of the sampler.
+        """
+        key = tuple(tuple(str(name) for name in names) for names in workload)
+        cached = self._marginal_cache.get(key)
+        if cached is not None:
+            return cached
+        loop = asyncio.get_running_loop()
+        answers = await loop.run_in_executor(
+            self._executor, self._compute_marginals, key
+        )
+        self._marginal_cache[key] = answers
+        return answers
+
+    def _compute_marginals(
+        self, key: Tuple[Tuple[str, ...], ...]
+    ) -> Dict:
+        return model_marginals(
+            self._model.noisy,
+            self._model.table_attributes,
+            [list(names) for names in key],
+        )
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Shut down the private executor (no-op for a shared one)."""
+        if self._own_executor:
+            self._executor.shutdown(wait=True)
+
+    def __enter__(self) -> "CoalescingSampler":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,238 @@
+"""Per-dataset privacy-budget ledger for the serving layer.
+
+One real table, many fits: sequential composition (Section 3) says their
+ε charges *add*, so a serving system needs one durable accountant per
+dataset that every fit charges into — not the fresh per-fit accountant
+the batch pipeline historically constructed.  :class:`DatasetLedger`
+holds exactly that: a thread-safe
+:class:`~repro.dp.accountant.PrivacyAccountant` per dataset whose grants
+are persisted (atomically, via
+:func:`~repro.core.serialize.atomic_write_text`) before the spender
+proceeds, so a restart can never forget ε that was already spent.
+
+Durability ordering: a charge is (1) validated and recorded in memory
+under the accountant's lock, (2) written to disk, and only then (3)
+returned to the caller — the caller touches data strictly after the
+grant is durable.  If the write fails, the in-memory charge is unwound
+(no data was accessed under it) and the error propagates.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.core.serialize import atomic_write_text
+from repro.dp.accountant import PrivacyAccountant
+
+PathLike = Union[str, Path]
+
+LEDGER_FORMAT_VERSION = 1
+
+#: Replay tolerance: a persisted ledger whose charges exceed its own
+#: total by more than this was not written by the accountant (corrupt or
+#: hand-edited) and is refused at load.
+_REPLAY_TOLERANCE = 1e-9
+
+
+class _PersistentAccountant(PrivacyAccountant):
+    """An accountant whose grants are durable before they are usable.
+
+    ``spend`` runs the whole charge-then-persist transaction under the
+    owning ledger's transaction lock, so concurrent spenders (and the
+    rollback of a failed persist) can never interleave: the entry
+    unwound on failure is always the one this call appended.
+    """
+
+    def __init__(
+        self,
+        total_epsilon: float,
+        entries: Sequence[Tuple[str, float]],
+        transaction_lock: threading.Lock,
+        persist_locked: Callable[[], None],
+    ) -> None:
+        super().__init__(
+            float(total_epsilon),
+            [(str(label), float(amount)) for label, amount in entries],
+        )
+        self._transaction_lock = transaction_lock
+        self._persist_locked = persist_locked
+
+    def spend(self, label: str, epsilon: float) -> float:
+        with self._transaction_lock:
+            granted = PrivacyAccountant.spend(self, label, epsilon)
+            try:
+                self._persist_locked()
+            except BaseException:
+                # The grant never became durable and no data was touched
+                # under it (the caller has not seen it yet): unwind.
+                self.unwind()
+                raise
+        return granted
+
+    #: Keep the historical alias pointing at the persistent override.
+    charge = spend
+
+
+class DatasetLedger:
+    """Thread-safe, persistent per-dataset privacy accountants.
+
+    Parameters
+    ----------
+    path:
+        JSON file backing the ledger.  ``None`` keeps the ledger
+        in-memory (tests, demos); otherwise the file is loaded if present
+        and every grant is atomically rewritten through a temp file +
+        ``os.replace``, so readers and restarts see either the previous
+        complete document or the new one.
+
+    Usage::
+
+        ledger = DatasetLedger(root / "ledger.json")
+        acc = ledger.accountant("adult", total_epsilon=2.0)
+        PrivBayes(epsilon=1.0).fit(table, rng, accountant=acc)  # ok
+        PrivBayes(epsilon=1.0).fit(table, rng, accountant=acc)  # ok — exhausts
+        PrivBayes(epsilon=1.0).fit(table, rng, accountant=acc)  # PrivacyBudgetError
+    """
+
+    def __init__(self, path: Optional[PathLike] = None) -> None:
+        self._path = Path(path) if path is not None else None
+        # Transaction lock: serializes every (charge, persist) pair and
+        # dataset registration across all of this ledger's accountants.
+        self._lock = threading.Lock()
+        self._accountants: Dict[str, _PersistentAccountant] = {}
+        if self._path is not None and self._path.exists():
+            self._load()
+
+    # ------------------------------------------------------------------
+    # Accountant access
+    # ------------------------------------------------------------------
+    def accountant(
+        self, dataset: str, total_epsilon: Optional[float] = None
+    ) -> PrivacyAccountant:
+        """The dataset's accountant, creating it on first use.
+
+        ``total_epsilon`` sets the dataset's end-to-end budget when the
+        dataset is new; for a known dataset it is optional but, when
+        given, must match the recorded budget (a silently re-opened
+        budget would be a composition bug, so a mismatch raises).
+        """
+        with self._lock:
+            existing = self._accountants.get(dataset)
+            if existing is not None:
+                if (
+                    total_epsilon is not None
+                    and float(total_epsilon) != existing.total_epsilon
+                ):
+                    raise ValueError(
+                        f"dataset {dataset!r} already has budget "
+                        f"ε={existing.total_epsilon:g}; cannot reopen with "
+                        f"ε={float(total_epsilon):g}"
+                    )
+                return existing
+            if total_epsilon is None:
+                raise KeyError(
+                    f"dataset {dataset!r} is not in the ledger; pass "
+                    "total_epsilon to register it"
+                )
+            account = _PersistentAccountant(
+                float(total_epsilon), [], self._lock, self._persist_locked
+            )
+            self._accountants[dataset] = account
+            try:
+                self._persist_locked()
+            except BaseException:
+                del self._accountants[dataset]
+                raise
+            return account
+
+    def datasets(self) -> List[str]:
+        """Registered dataset names, sorted."""
+        with self._lock:
+            return sorted(self._accountants)
+
+    def report(self) -> Dict[str, Dict]:
+        """Budget summary per dataset (for the CLI / monitoring)."""
+        with self._lock:
+            accounts = dict(self._accountants)
+        return {
+            name: {
+                "total_epsilon": account.total_epsilon,
+                "spent": account.spent,
+                "remaining": account.remaining,
+                "charges": account.ledger,
+            }
+            for name, account in sorted(accounts.items())
+        }
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def _load(self) -> None:
+        try:
+            doc = json.loads(self._path.read_text())
+        except json.JSONDecodeError as exc:
+            raise ValueError(
+                f"ledger file {self._path} is not valid JSON (truncated "
+                f"or corrupt write?): {exc}"
+            ) from exc
+        version = doc.get("format_version")
+        if version != LEDGER_FORMAT_VERSION:
+            raise ValueError(
+                f"ledger file {self._path}: unsupported format version "
+                f"{version!r}"
+            )
+        datasets = doc.get("datasets")
+        if not isinstance(datasets, dict):
+            raise ValueError(
+                f"ledger file {self._path}: missing 'datasets' mapping"
+            )
+        for name in sorted(datasets):
+            entry = datasets[name]
+            try:
+                account = _PersistentAccountant(
+                    float(entry["total_epsilon"]),
+                    [
+                        (str(label), float(amount))
+                        for label, amount in entry["ledger"]
+                    ],
+                    self._lock,
+                    self._persist_locked,
+                )
+            except (KeyError, TypeError, ValueError) as exc:
+                raise ValueError(
+                    f"ledger file {self._path}: dataset {name!r} entry is "
+                    f"malformed ({exc})"
+                ) from exc
+            if account.remaining < -_REPLAY_TOLERANCE:
+                raise ValueError(
+                    f"ledger file {self._path}: dataset {name!r} records "
+                    f"ε spend {account.spent:g} exceeding its total "
+                    f"budget {account.total_epsilon:g} — refusing a "
+                    "ledger the accountant could not have written"
+                )
+            self._accountants[name] = account
+
+    def _persist_locked(self) -> None:
+        """Write the full ledger state; caller holds ``self._lock``."""
+        if self._path is None:
+            return
+        doc = {
+            "format_version": LEDGER_FORMAT_VERSION,
+            "datasets": {
+                name: {
+                    "total_epsilon": account.total_epsilon,
+                    # The accountant's own lock is never held here (the
+                    # transaction lock serializes spends), so reading the
+                    # private list directly is race-free; the public
+                    # .ledger property would re-take that free lock.
+                    "ledger": [
+                        [label, amount] for label, amount in account._ledger
+                    ],
+                }
+                for name, account in sorted(self._accountants.items())
+            },
+        }
+        atomic_write_text(self._path, json.dumps(doc, indent=2) + "\n")

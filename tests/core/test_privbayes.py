@@ -5,6 +5,7 @@ import pytest
 
 from repro.core.privbayes import PrivBayes, PrivBayesConfig
 from repro.data.marginals import joint_distribution
+from repro.dp.accountant import PrivacyAccountant, PrivacyBudgetError
 from repro.infotheory.measures import total_variation_distance
 
 
@@ -179,3 +180,85 @@ class TestOracles:
         private = np.mean([error(False, s) for s in range(8)])
         oracle = np.mean([error(True, s) for s in range(8)])
         assert oracle <= private + 1e-6
+
+
+class TestExternalAccountant:
+    """PrivBayes.fit(..., accountant=...): cumulative ε across fits."""
+
+    def test_fit_charges_whole_epsilon_into_external_ledger(self, binary_table):
+        shared = PrivacyAccountant(2.5)
+        PrivBayes(epsilon=1.0).fit(
+            binary_table, np.random.default_rng(0), accountant=shared
+        )
+        assert shared.spent == pytest.approx(1.0)
+        assert [label for label, _ in shared.ledger] == ["privbayes-fit"]
+
+    def test_repeated_fits_compose_and_then_refuse(self, binary_table):
+        shared = PrivacyAccountant(2.0)
+        pipeline = PrivBayes(epsilon=1.0)
+        pipeline.fit(binary_table, np.random.default_rng(0), accountant=shared)
+        pipeline.fit(binary_table, np.random.default_rng(1), accountant=shared)
+        assert shared.remaining == pytest.approx(0.0, abs=1e-9)
+        with pytest.raises(PrivacyBudgetError):
+            pipeline.fit(
+                binary_table, np.random.default_rng(2), accountant=shared
+            )
+        # The refused fit left no partial charge behind.
+        assert len(shared.ledger) == 2
+
+    def test_refusal_happens_before_counts(self, binary_table):
+        """An unaffordable fit must not touch the data at all."""
+
+        class TripwireTable:
+            """Delegates schema probes; explodes on any data access."""
+
+            def __init__(self, inner):
+                self._inner = inner
+                self.d = inner.d
+                self.n = inner.n
+
+            def __getattr__(self, name):
+                raise AssertionError(
+                    f"fit accessed table.{name} after the budget refusal"
+                )
+
+        exhausted = PrivacyAccountant(1.0)
+        exhausted.spend("earlier-release", 1.0)
+        with pytest.raises(PrivacyBudgetError):
+            PrivBayes(epsilon=0.5, mode="binary").fit(
+                TripwireTable(binary_table),
+                np.random.default_rng(0),
+                accountant=exhausted,
+            )
+
+    def test_external_accountant_is_bit_identical_to_default(self, binary_table):
+        """The reservation consumes no randomness: same seed, same release."""
+        plain = PrivBayes(epsilon=1.0).fit_sample(
+            binary_table, np.random.default_rng(7)
+        )
+        shared = PrivacyAccountant(4.0)
+        ledgered = PrivBayes(epsilon=1.0).fit_sample(
+            binary_table, np.random.default_rng(7), accountant=shared
+        )
+        for name in binary_table.attribute_names:
+            np.testing.assert_array_equal(
+                plain.column(name), ledgered.column(name)
+            )
+
+    def test_model_keeps_its_own_per_phase_ledger(self, binary_table):
+        shared = PrivacyAccountant(3.0)
+        model = PrivBayes(epsilon=1.0).fit(
+            binary_table, np.random.default_rng(0), accountant=shared
+        )
+        assert model.accountant is not shared
+        assert model.accountant.total_epsilon == 1.0
+        # Internal per-phase charges exhaust the fit's own ε as always.
+        assert model.accountant.remaining == pytest.approx(0.0, abs=1e-6)
+
+    def test_fit_sample_forwards_accountant(self, binary_table):
+        shared = PrivacyAccountant(1.5)
+        PrivBayes(epsilon=1.0).fit_sample(
+            binary_table, np.random.default_rng(0), accountant=shared
+        )
+        # Sampling is post-processing: only the fit's reservation landed.
+        assert shared.spent == pytest.approx(1.0)

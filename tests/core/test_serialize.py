@@ -84,3 +84,129 @@ class TestRoundTrip:
         data["format_version"] = 99
         with pytest.raises(ValueError, match="version"):
             model_from_dict(data)
+
+
+class TestAtomicSave:
+    def test_truncated_file_raises_valueerror_naming_path(self, fitted, tmp_path):
+        """Regression fixture for the historical non-atomic write path.
+
+        A crash mid-write used to leave a JSON prefix on disk; loading it
+        must fail loudly as a ValueError naming the file, not as opaque
+        downstream garbage.
+        """
+        model, table = fitted
+        path = tmp_path / "model.json"
+        save_model(model.noisy, table.attributes, path)
+        text = path.read_text()
+        path.write_text(text[: len(text) // 2])  # simulate the old crash
+        with pytest.raises(ValueError, match="model.json"):
+            load_model(path)
+
+    def test_crash_mid_write_preserves_previous_model(
+        self, fitted, tmp_path, monkeypatch
+    ):
+        """If the replace step dies, the old complete document survives."""
+        import os as os_module
+
+        model, table = fitted
+        path = tmp_path / "model.json"
+        save_model(model.noisy, table.attributes, path)
+        before = path.read_text()
+
+        def exploding_replace(src, dst):
+            raise OSError("simulated crash at rename")
+
+        monkeypatch.setattr(os_module, "replace", exploding_replace)
+        with pytest.raises(OSError, match="simulated crash"):
+            save_model(model.noisy, table.attributes, path)
+        monkeypatch.undo()
+        assert path.read_text() == before
+        load_model(path)  # still a complete, valid document
+        # ... and the aborted temp file was cleaned up.
+        assert [p.name for p in tmp_path.iterdir()] == ["model.json"]
+
+    def test_save_leaves_only_the_target(self, fitted, tmp_path):
+        model, table = fitted
+        path = tmp_path / "model.json"
+        save_model(model.noisy, table.attributes, path)
+        save_model(model.noisy, table.attributes, path)  # overwrite in place
+        assert [p.name for p in tmp_path.iterdir()] == ["model.json"]
+
+
+class TestLoadValidation:
+    """model_from_dict refuses malformed documents, naming the conditional."""
+
+    @pytest.fixture
+    def doc(self, fitted):
+        model, table = fitted
+        return model_to_dict(model.noisy, table.attributes)
+
+    def test_wrong_matrix_shape(self, doc):
+        entry = doc["conditionals"][-1]
+        entry["matrix"] = entry["matrix"][:-1]  # drop a row
+        with pytest.raises(ValueError, match=rf"{entry['child']}.*shape"):
+            model_from_dict(doc)
+
+    def test_ragged_matrix(self, doc):
+        entry = doc["conditionals"][-1]
+        entry["matrix"] = [row[:-1] for row in entry["matrix"][:1]] + entry[
+            "matrix"
+        ][1:]
+        with pytest.raises(ValueError, match=entry["child"]):
+            model_from_dict(doc)
+
+    def test_non_finite_entries(self, doc):
+        entry = doc["conditionals"][0]
+        entry["matrix"][0][0] = float("nan")
+        with pytest.raises(ValueError, match=f"{entry['child']}.*non-finite"):
+            model_from_dict(doc)
+
+    def test_negative_probability(self, doc):
+        entry = doc["conditionals"][0]
+        entry["matrix"][0][0] = -0.25
+        with pytest.raises(ValueError, match=f"{entry['child']}.*negative"):
+            model_from_dict(doc)
+
+    def test_rows_must_sum_to_one(self, doc):
+        entry = doc["conditionals"][0]
+        entry["matrix"][0] = [value * 0.5 for value in entry["matrix"][0]]
+        with pytest.raises(ValueError, match=f"{entry['child']}.*row 0 sums"):
+            model_from_dict(doc)
+
+    def test_network_child_without_conditional(self, doc):
+        dropped = doc["conditionals"].pop()
+        with pytest.raises(
+            ValueError, match=f"missing conditionals.*{dropped['child']}"
+        ):
+            model_from_dict(doc)
+
+    def test_duplicate_conditional(self, doc):
+        doc["conditionals"].append(doc["conditionals"][0])
+        with pytest.raises(ValueError, match="duplicate conditional"):
+            model_from_dict(doc)
+
+    def test_conditional_parents_must_match_network(self, doc):
+        entry = doc["network"][-1]
+        if not entry["parents"]:
+            pytest.skip("last pair has no parents in this fit")
+        bad = dict(doc)
+        bad["network"] = doc["network"][:-1] + [
+            {"child": entry["child"], "parents": []}
+        ]
+        with pytest.raises(ValueError, match="parents"):
+            model_from_dict(bad)
+
+    def test_child_size_must_match_schema(self, doc):
+        entry = doc["conditionals"][0]
+        entry["child_size"] = entry["child_size"] + 1
+        with pytest.raises(ValueError, match=entry["child"]):
+            model_from_dict(doc)
+
+    def test_missing_section(self, doc):
+        del doc["conditionals"]
+        with pytest.raises(ValueError, match="missing section"):
+            model_from_dict(doc)
+
+    def test_good_document_still_loads(self, doc):
+        model, attributes = model_from_dict(doc)
+        assert len(model.conditionals) == len(attributes)

@@ -160,3 +160,97 @@ class TestGroupPrivacy:
             scale_for_group_privacy(0.0, 3)
         with pytest.raises(ValueError):
             scale_for_group_privacy(1.0, 0)
+
+
+class TestThreadSafety:
+    def test_sixteen_threads_never_overgrant(self):
+        """The concurrent-overdraw race: grants must sum to <= the budget.
+
+        The historical spend was an unsynchronized check-then-append; 16
+        threads racing could each pass the check before any append landed
+        and jointly overdraw.  With the lock, at most budget/charge
+        charges are granted in total and every loser raises
+        PrivacyBudgetError.
+        """
+        import threading
+
+        acc = PrivacyAccountant(1.0)
+        barrier = threading.Barrier(16)
+        granted, refused = [], []
+        lock = threading.Lock()
+
+        def racer():
+            barrier.wait()
+            for _ in range(4):  # 16 threads x 4 x 0.125 = 8.0 attempted
+                try:
+                    amount = acc.spend("race", 0.125)
+                except PrivacyBudgetError:
+                    with lock:
+                        refused.append(1)
+                else:
+                    with lock:
+                        granted.append(amount)
+
+        threads = [threading.Thread(target=racer) for _ in range(16)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert sum(granted) <= 1.0 + 1e-9
+        assert len(granted) == 8  # exactly budget / charge
+        assert len(refused) == 16 * 4 - 8
+        # remaining stays consistent with the grants actually made.
+        assert acc.spent == pytest.approx(sum(granted))
+        assert acc.remaining == pytest.approx(1.0 - sum(granted))
+        assert len(acc.ledger) == len(granted)
+
+    def test_spent_is_running_total_not_resum(self):
+        """spent tracks the ledger exactly (incremental == left-to-right sum)."""
+        acc = PrivacyAccountant(1.0)
+        for _ in range(7):
+            acc.spend("x", 1.0 / 7.0)
+        assert acc.spent == sum(amount for _, amount in acc.ledger)
+
+    def test_pickle_roundtrip_recreates_lock(self):
+        import pickle
+
+        acc = PrivacyAccountant(1.0)
+        acc.spend("a", 0.25)
+        clone = pickle.loads(pickle.dumps(acc))
+        assert clone.total_epsilon == 1.0
+        assert clone.spent == acc.spent
+        assert clone.ledger == acc.ledger
+        clone.spend("b", 0.5)  # the restored lock works
+        assert clone.remaining == pytest.approx(0.25)
+
+    def test_prefilled_ledger_seeds_running_total(self):
+        acc = PrivacyAccountant(1.0, [("replayed", 0.3), ("replayed", 0.2)])
+        assert acc.spent == pytest.approx(0.5)
+        with pytest.raises(PrivacyBudgetError):
+            acc.spend("over", 0.6)
+
+
+class TestUnwind:
+    def test_unwind_restores_budget(self):
+        acc = PrivacyAccountant(1.0)
+        acc.spend("keep", 0.3)
+        acc.spend("rollback", 0.5)
+        acc.unwind()
+        assert acc.spent == pytest.approx(0.3)
+        assert [label for label, _ in acc.ledger] == ["keep"]
+        acc.spend("again", 0.7)  # the unwound ε is spendable again
+
+    def test_unwind_matches_resum_bitwise(self):
+        acc = PrivacyAccountant(1.0)
+        for _ in range(7):
+            acc.spend("x", 1.0 / 7.0)
+        acc.unwind(2)
+        assert acc.spent == sum(amount for _, amount in acc.ledger)
+
+    def test_unwind_validation(self):
+        acc = PrivacyAccountant(1.0)
+        acc.spend("a", 0.1)
+        with pytest.raises(ValueError, match="cannot unwind"):
+            acc.unwind(2)
+        with pytest.raises(ValueError):
+            acc.unwind(-1)

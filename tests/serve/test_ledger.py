@@ -1,0 +1,160 @@
+"""DatasetLedger: durable cumulative ε across fits, processes, threads."""
+
+import json
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core.privbayes import PrivBayes
+from repro.datasets.synthetic import random_binary_table
+from repro.dp.accountant import PrivacyBudgetError
+from repro.serve.ledger import DatasetLedger
+
+
+@pytest.fixture
+def tiny_table():
+    return random_binary_table(n=200, d=3, seed=11)
+
+
+class TestLedgerBasics:
+    def test_in_memory_roundtrip(self):
+        ledger = DatasetLedger(None)
+        account = ledger.accountant("adult", 2.0)
+        account.spend("fit-1", 1.0)
+        assert ledger.accountant("adult") is account
+        assert account.remaining == pytest.approx(1.0)
+
+    def test_unknown_dataset_requires_budget(self):
+        ledger = DatasetLedger(None)
+        with pytest.raises(KeyError, match="not in the ledger"):
+            ledger.accountant("nope")
+
+    def test_budget_reopen_mismatch_rejected(self):
+        ledger = DatasetLedger(None)
+        ledger.accountant("adult", 2.0)
+        with pytest.raises(ValueError, match="already has budget"):
+            ledger.accountant("adult", 3.0)
+        # Matching or omitted budget is fine.
+        ledger.accountant("adult", 2.0)
+        ledger.accountant("adult")
+
+    def test_report_lists_charges(self):
+        ledger = DatasetLedger(None)
+        ledger.accountant("a", 1.0).spend("x", 0.25)
+        ledger.accountant("b", 2.0)
+        report = ledger.report()
+        assert sorted(report) == ["a", "b"]
+        assert report["a"]["charges"] == [("x", 0.25)]
+        assert report["a"]["remaining"] == pytest.approx(0.75)
+
+
+class TestPersistence:
+    def test_spend_survives_process_restart(self, tmp_path):
+        path = tmp_path / "ledger.json"
+        first = DatasetLedger(path)
+        first.accountant("adult", 2.0).spend("fit-1", 1.25)
+
+        reloaded = DatasetLedger(path)  # a fresh "process"
+        account = reloaded.accountant("adult")
+        assert account.total_epsilon == 2.0
+        assert account.spent == pytest.approx(1.25)
+        assert account.ledger == [("fit-1", 1.25)]
+        with pytest.raises(PrivacyBudgetError):
+            account.spend("fit-2", 1.0)
+
+    def test_grant_is_durable_before_spend_returns(self, tmp_path):
+        path = tmp_path / "ledger.json"
+        ledger = DatasetLedger(path)
+        ledger.accountant("adult", 2.0).spend("fit-1", 0.5)
+        on_disk = json.loads(path.read_text())
+        assert on_disk["datasets"]["adult"]["ledger"] == [["fit-1", 0.5]]
+
+    def test_failed_persist_unwinds_the_charge(self, tmp_path, monkeypatch):
+        path = tmp_path / "ledger.json"
+        ledger = DatasetLedger(path)
+        account = ledger.accountant("adult", 2.0)
+        account.spend("fit-1", 0.5)
+
+        import repro.serve.ledger as ledger_module
+
+        def exploding_write(target, text):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(ledger_module, "atomic_write_text", exploding_write)
+        with pytest.raises(OSError, match="disk full"):
+            account.spend("fit-2", 0.5)
+        monkeypatch.undo()
+        # The unusable grant was rolled back: memory and disk agree.
+        assert account.spent == pytest.approx(0.5)
+        assert json.loads(path.read_text())["datasets"]["adult"]["ledger"] == [
+            ["fit-1", 0.5]
+        ]
+
+    def test_corrupt_ledger_file_refused(self, tmp_path):
+        path = tmp_path / "ledger.json"
+        DatasetLedger(path).accountant("adult", 2.0)
+        text = path.read_text()
+        path.write_text(text[: len(text) // 2])
+        with pytest.raises(ValueError, match="ledger.json"):
+            DatasetLedger(path)
+
+    def test_overdrawn_ledger_file_refused(self, tmp_path):
+        path = tmp_path / "ledger.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "format_version": 1,
+                    "datasets": {
+                        "adult": {
+                            "total_epsilon": 1.0,
+                            "ledger": [["fit", 0.8], ["fit", 0.8]],
+                        }
+                    },
+                }
+            )
+        )
+        with pytest.raises(ValueError, match="exceeding its total"):
+            DatasetLedger(path)
+
+
+class TestConcurrentFits:
+    def test_sixteen_racing_fits_never_overgrant(self, tmp_path, tiny_table):
+        """Acceptance criterion: 16 threads fitting against one dataset
+        budget of 1.0 at ε=0.25 each — exactly 4 fits granted, every
+        loser raises PrivacyBudgetError, and the persisted ledger agrees.
+        """
+        path = tmp_path / "ledger.json"
+        ledger = DatasetLedger(path)
+        account = ledger.accountant("race", 1.0)
+        barrier = threading.Barrier(16)
+        outcomes = []
+        outcome_lock = threading.Lock()
+
+        def fitter(index):
+            rng = np.random.default_rng(1000 + index)
+            barrier.wait()
+            try:
+                PrivBayes(epsilon=0.25).fit(
+                    tiny_table, rng, accountant=account
+                )
+            except PrivacyBudgetError:
+                with outcome_lock:
+                    outcomes.append("refused")
+            else:
+                with outcome_lock:
+                    outcomes.append("granted")
+
+        threads = [
+            threading.Thread(target=fitter, args=(index,)) for index in range(16)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert outcomes.count("granted") == 4
+        assert outcomes.count("refused") == 12
+        assert account.spent == pytest.approx(1.0)
+        persisted = json.loads(path.read_text())["datasets"]["race"]["ledger"]
+        assert len(persisted) == 4
+        assert sum(amount for _, amount in persisted) <= 1.0 + 1e-9

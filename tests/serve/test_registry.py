@@ -1,0 +1,105 @@
+"""ModelRegistry: resident models, warm restarts, validated loads."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.privbayes import PrivBayes, PrivBayesConfig
+from repro.datasets.synthetic import random_binary_table
+from repro.serve.registry import ModelRegistry, registry_key
+
+
+@pytest.fixture
+def table():
+    return random_binary_table(n=500, d=4, seed=5)
+
+
+@pytest.fixture
+def fitted(table):
+    return PrivBayes(epsilon=1.0).fit(table, np.random.default_rng(3))
+
+
+class TestResident:
+    def test_put_get_roundtrip(self, fitted):
+        registry = ModelRegistry(None)
+        registry.put("demo", fitted)
+        assert registry.get("demo", fitted.config) is fitted
+        assert len(registry) == 1
+
+    def test_get_miss_on_different_config(self, fitted):
+        registry = ModelRegistry(None)
+        registry.put("demo", fitted)
+        other = PrivBayesConfig(epsilon=2.0)
+        assert registry.get("demo", other) is None
+        assert registry.get("elsewhere", fitted.config) is None
+
+    def test_put_warms_sampling_caches(self, fitted):
+        registry = ModelRegistry(None)
+        registry.put("demo", fitted)
+        for conditional in fitted.noisy.conditionals:
+            assert getattr(conditional, "_row_cdfs", None) is not None
+
+    def test_registry_key_is_stable(self, fitted):
+        key = registry_key("demo", fitted.config)
+        assert key == registry_key("demo", fitted.config)
+        assert key != registry_key("demo2", fitted.config)
+        assert key != registry_key("demo", PrivBayesConfig(epsilon=2.0))
+
+
+class TestWarmRestart:
+    def test_restart_roundtrip_samples_bit_identically(self, tmp_path, fitted):
+        registry = ModelRegistry(tmp_path)
+        registry.put("demo", fitted)
+
+        reloaded = ModelRegistry(tmp_path)  # a fresh "process"
+        model = reloaded.get("demo", fitted.config)
+        assert model is not None
+        assert model.source_n == fitted.source_n
+        assert model.k == fitted.k
+        assert model.config == fitted.config
+        assert model.accountant.ledger == fitted.accountant.ledger
+        before = fitted.sample(256, np.random.default_rng(9))
+        after = model.sample(256, np.random.default_rng(9))
+        for name in before.attribute_names:
+            np.testing.assert_array_equal(
+                before.column(name), after.column(name)
+            )
+
+    def test_restart_holds_multiple_entries(self, tmp_path, table, fitted):
+        registry = ModelRegistry(tmp_path)
+        registry.put("demo", fitted)
+        second = PrivBayes(epsilon=2.0).fit(table, np.random.default_rng(4))
+        registry.put("demo", second)
+        reloaded = ModelRegistry(tmp_path)
+        assert len(reloaded) == 2
+        assert [dataset for dataset, _ in reloaded.entries()] == ["demo", "demo"]
+
+    def test_corrupt_entry_refused_naming_file(self, tmp_path, fitted):
+        registry = ModelRegistry(tmp_path)
+        registry.put("demo", fitted)
+        entry = next(tmp_path.glob("*.json"))
+        text = entry.read_text()
+        entry.write_text(text[: len(text) // 2])  # truncated write
+        with pytest.raises(ValueError, match=entry.name):
+            ModelRegistry(tmp_path)
+
+    def test_damaged_conditional_refused(self, tmp_path, fitted):
+        registry = ModelRegistry(tmp_path)
+        registry.put("demo", fitted)
+        entry = next(tmp_path.glob("*.json"))
+        doc = json.loads(entry.read_text())
+        doc["model"]["conditionals"][0]["matrix"][0][0] = -1.0
+        entry.write_text(json.dumps(doc))
+        with pytest.raises(ValueError, match="negative"):
+            ModelRegistry(tmp_path)
+
+    def test_unsupported_version_refused(self, tmp_path, fitted):
+        registry = ModelRegistry(tmp_path)
+        registry.put("demo", fitted)
+        entry = next(tmp_path.glob("*.json"))
+        doc = json.loads(entry.read_text())
+        doc["registry_version"] = 99
+        entry.write_text(json.dumps(doc))
+        with pytest.raises(ValueError, match="version"):
+            ModelRegistry(tmp_path)

@@ -1,0 +1,202 @@
+"""SynthesisService wiring + the ``python -m repro.serve`` CLI."""
+
+import asyncio
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core.privbayes import PrivBayesConfig
+from repro.data.io import write_csv
+from repro.datasets.synthetic import random_binary_table
+from repro.dp.accountant import PrivacyBudgetError
+from repro.serve.service import SynthesisService
+
+REPO_SRC = str(Path(__file__).resolve().parents[2] / "src")
+
+
+@pytest.fixture
+def table():
+    return random_binary_table(n=600, d=4, seed=9)
+
+
+class TestService:
+    def test_fit_registers_and_charges(self, table):
+        with SynthesisService(None) as service:
+            config = PrivBayesConfig(epsilon=1.0)
+            model = service.fit(
+                "demo",
+                table,
+                config,
+                rng=np.random.default_rng(0),
+                dataset_budget=3.0,
+            )
+            assert service.model("demo", config) is model
+            account = service.ledger.accountant("demo")
+            assert account.spent == pytest.approx(1.0)
+
+    def test_budget_refusal_and_no_registration(self, table):
+        with SynthesisService(None) as service:
+            config = PrivBayesConfig(epsilon=1.0)
+            service.fit(
+                "demo",
+                table,
+                config,
+                rng=np.random.default_rng(0),
+                dataset_budget=1.0,
+            )
+            with pytest.raises(PrivacyBudgetError):
+                service.fit(
+                    "demo",
+                    table,
+                    PrivBayesConfig(epsilon=0.5),
+                    rng=np.random.default_rng(1),
+                )
+            with pytest.raises(KeyError):
+                service.model("demo", PrivBayesConfig(epsilon=0.5))
+
+    def test_persistent_roundtrip_through_restart(self, tmp_path, table):
+        config = PrivBayesConfig(epsilon=1.0)
+        with SynthesisService(tmp_path) as service:
+            service.fit(
+                "demo",
+                table,
+                config,
+                rng=np.random.default_rng(0),
+                dataset_budget=2.0,
+            )
+
+        with SynthesisService(tmp_path) as restarted:
+            model = restarted.model("demo", config)
+            assert model.source_n == table.n
+            account = restarted.ledger.accountant("demo")
+            assert account.remaining == pytest.approx(1.0)
+
+            async def drive():
+                sampler = restarted.sampler(
+                    "demo", config, np.random.default_rng(4)
+                )
+                return await asyncio.gather(
+                    sampler.sample(64), sampler.sample(32)
+                )
+
+            first, second = asyncio.run(drive())
+            assert first.n == 64 and second.n == 32
+
+    def test_marginals_direct(self, table):
+        with SynthesisService(None) as service:
+            config = PrivBayesConfig(epsilon=1.0)
+            service.fit(
+                "demo",
+                table,
+                config,
+                rng=np.random.default_rng(0),
+                dataset_budget=1.0,
+            )
+            answers = service.marginals("demo", config, [["x0"], ["x1", "x2"]])
+            assert set(answers) == {("x0",), ("x1", "x2")}
+            for values in answers.values():
+                assert np.asarray(values).sum() == pytest.approx(1.0)
+
+    def test_config_kwargs_shortcut(self, table):
+        with SynthesisService(None) as service:
+            model = service.fit(
+                "demo",
+                table,
+                rng=np.random.default_rng(0),
+                dataset_budget=1.0,
+                epsilon=1.0,
+                beta=0.4,
+            )
+            assert model.config.beta == 0.4
+            with pytest.raises(ValueError, match="not both"):
+                service.fit(
+                    "demo",
+                    table,
+                    PrivBayesConfig(epsilon=0.1),
+                    epsilon=0.1,
+                )
+
+
+def _run_cli(*arguments, cwd=None):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = REPO_SRC + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    return subprocess.run(
+        [sys.executable, "-m", "repro.serve", *arguments],
+        capture_output=True,
+        text=True,
+        env=env,
+        cwd=cwd,
+        timeout=240,
+    )
+
+
+class TestCli:
+    def test_demo_runs_clean(self):
+        result = _run_cli("demo", "--seed", "0")
+        assert result.returncode == 0, result.stderr
+        assert "refused before touching data" in result.stdout
+
+    def test_fit_sample_budget_flow(self, tmp_path, table):
+        csv_path = tmp_path / "data.csv"
+        write_csv(table, csv_path)
+        root = tmp_path / "state"
+
+        fitted = _run_cli(
+            "fit",
+            "--root", str(root),
+            "--dataset", "demo",
+            "--csv", str(csv_path),
+            "--epsilon", "1.0",
+            "--dataset-budget", "1.5",
+            "--seed", "0",
+        )
+        assert fitted.returncode == 0, fitted.stderr
+
+        sampled = _run_cli(
+            "sample",
+            "--root", str(root),
+            "--dataset", "demo",
+            "--epsilon", "1.0",
+            "--rows", "200",
+            "--requests", "4",
+            "--seed", "1",
+            "--out", str(tmp_path / "synth.csv"),
+        )
+        assert sampled.returncode == 0, sampled.stderr
+        assert "1 coalesced draw" in sampled.stdout
+        synth_lines = (tmp_path / "synth.csv").read_text().splitlines()
+        assert len(synth_lines) == 201  # header + rows
+
+        budget = _run_cli("budget", "--root", str(root))
+        assert budget.returncode == 0, budget.stderr
+        report = json.loads(budget.stdout)
+        assert report["demo"]["spent"] == pytest.approx(1.0)
+
+        refused = _run_cli(
+            "fit",
+            "--root", str(root),
+            "--dataset", "demo",
+            "--csv", str(csv_path),
+            "--epsilon", "1.0",
+            "--seed", "2",
+        )
+        assert refused.returncode == 3
+        assert "refused" in refused.stderr
+
+    def test_sample_unknown_model_fails_cleanly(self, tmp_path):
+        result = _run_cli(
+            "sample",
+            "--root", str(tmp_path / "state"),
+            "--dataset", "ghost",
+            "--epsilon", "1.0",
+            "--rows", "10",
+        )
+        assert result.returncode == 2
+        assert "no model registered" in result.stderr
