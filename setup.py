@@ -1,5 +1,34 @@
 """Setuptools shim: enables legacy editable installs in offline environments
-(no `wheel` package available, so the PEP 517 editable hook cannot run)."""
-from setuptools import setup
+(no `wheel` package available, so the PEP 517 editable hook cannot run).
 
-setup()
+Also provides an optional ``build_native`` command that compiles the C
+F-score backend ahead of time (``python setup.py build_native``).  The
+package never requires it: a pure-Python install works identically, and
+:mod:`repro.core.kernel_backend` builds on demand when a toolchain exists.
+"""
+import sys
+
+from setuptools import Command, setup
+
+
+class BuildNative(Command):
+    """Compile the optional native F-score kernel into the artifact cache."""
+
+    description = "compile the native F-score kernel (requires a C toolchain)"
+    user_options = []
+
+    def initialize_options(self):
+        pass
+
+    def finalize_options(self):
+        pass
+
+    def run(self):
+        sys.path.insert(0, "src")
+        from repro.core import kernel_backend
+
+        artifact = kernel_backend.build_native(force=True)
+        print(f"built {artifact}")
+
+
+setup(cmdclass={"build_native": BuildNative})

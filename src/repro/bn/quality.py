@@ -13,18 +13,17 @@ from typing import Dict, List, Sequence, Tuple
 import numpy as np
 
 from repro.bn.network import BayesianNetwork
-from repro.core.score_kernels import score_I_batch
+from repro.core.score_kernels import score_I_segments
 from repro.data.marginals import (
     domain_size,
     ensure_int64_domain,
     flatten_index,
     joint_distribution,
-    segments_by_size,
     stacked_joint_counts,
     unflatten_index,
 )
 from repro.data.table import Table
-from repro.infotheory.measures import kl_divergence, mutual_information
+from repro.infotheory.measures import kl_divergence, segment_sums
 
 
 def generalized_codes(table: Table, name: str, level: int) -> Tuple[np.ndarray, int]:
@@ -132,11 +131,14 @@ def pair_group_mutual_information(
     """``I(child, Π)`` for every child sharing one (generalized) parent set.
 
     The parent configuration is flattened once, all children's joints are
-    counted in one stacked ``np.bincount`` pass, and the mutual
-    informations come from the batched kernel
-    (:func:`repro.core.score_kernels.score_I_batch`) — each value bit-equal
-    to ``mutual_information(*pair_joint_distribution(...))`` on the same
-    pair.  This is the batched core under both
+    counted in one stacked ``np.bincount`` pass, and the stacked block goes
+    *straight* into the ragged segmented kernel
+    (:func:`repro.core.score_kernels.score_I_segments`) — no per-candidate
+    reshaping or same-size bucketing here.  Normalization divides each
+    element by its candidate's exact segment total
+    (:func:`repro.infotheory.measures.segment_sums`), so each value is
+    bit-equal to ``mutual_information(*pair_joint_distribution(...))`` on
+    the same pair.  This is the batched core under both
     :func:`network_mutual_information` and
     :meth:`repro.core.scoring.MutualInformationCache.pair_mi_batch`.
     """
@@ -147,31 +149,17 @@ def pair_group_mutual_information(
         parent_flat, parent_dom,
         [table.column(c) for c in children], child_sizes,
     )
-    values: Dict[int, float] = {}
-    for child_size, members in segments_by_size(
-        child_sizes, offsets, lengths
-    ).items():
-        stack = np.stack(
-            [block[o : o + l] for _, o, l in members]
-        ).astype(float)
-        totals = stack.reshape(len(members), -1).sum(axis=1)
-        live: List[int] = []
-        for position, (index, _, _) in enumerate(members):
-            if totals[position] > 0:
-                live.append(position)
-            else:
-                # Empty table: pair_joint_distribution leaves the all-zero
-                # vector unnormalized; score it through the same function.
-                values[index] = mutual_information(
-                    stack[position].reshape(-1), child_size
-                )
-        if live:
-            joints = (
-                stack[live] / totals[live, None]
-            ).reshape(len(live), parent_dom, child_size)
-            for position, value in zip(live, score_I_batch(joints, child_size)):
-                values[members[position][0]] = float(value)
-    return [values[i] for i in range(len(children))]
+    floats = block.astype(float)
+    lengths = np.asarray(lengths, dtype=np.int64)
+    ids = np.repeat(np.arange(len(children), dtype=np.int64), lengths)
+    totals = segment_sums(floats, ids, len(children))
+    # Empty table: pair_joint_distribution leaves the all-zero vector
+    # unnormalized (divide by 1 here), and the kernel scores it to the
+    # same exact 0.0 the normalized path produces.
+    divisors = np.where(totals > 0.0, totals, 1.0)
+    normalized = floats / np.repeat(divisors, lengths)
+    values = score_I_segments(normalized, offsets, lengths, child_sizes)
+    return [float(v) for v in values]
 
 
 def network_mutual_information(

@@ -1,0 +1,253 @@
+/* Native frontier-merge backend for the Section-4.4 F score.
+ *
+ * Exact batched F scores for binary-child candidates: for each candidate
+ * the dynamic program of Section 4.4 extends a Pareto frontier of
+ * (K0, K1) mass states (Equation 10) over the parent cells, with
+ * dominated states pruned per Definition 4.6.  This is the same
+ * computation as the NumPy kernel's blocked-bitset path and the
+ * per-candidate reference DP (repro.core.score_kernels.score_F_dp) —
+ * every coordinate is an exact int64 until the final shortfall floats,
+ * which use the identical IEEE-754 double expression
+ *
+ *     max(0, 0.5 - K0/n) + max(0, 0.5 - K1/n)
+ *
+ * so the returned score is bit-equal to both Python paths (see
+ * README.md in this directory for the full bit-identity argument).
+ *
+ * Deliberately free of Python.h: the ABI is flat int64/double arrays
+ * driven through ctypes, so the file compiles with any C99 toolchain
+ * ("cc -O2 -fPIC -shared") and the pure-Python install never needs it.
+ */
+
+#include <stdint.h>
+#include <stdlib.h>
+
+/* Bumped whenever the exported signatures change; checked at load time
+ * so a stale cached artifact can never be driven with the wrong ABI. */
+#define REPRO_SCOREF_ABI 1
+
+int64_t repro_scoref_abi_version(void) { return REPRO_SCOREF_ABI; }
+
+/* One frontier: a[] strictly decreasing, b[] strictly increasing (the
+ * canonical form Definition-4.6 pruning leaves), size >= 1. */
+typedef struct {
+    int64_t *a;
+    int64_t *b;
+    int64_t capacity;
+} buffer_t;
+
+static int ensure_capacity(buffer_t *buf, int64_t need)
+{
+    int64_t capacity = buf->capacity;
+    int64_t *grown;
+    if (need <= capacity) {
+        return 0;
+    }
+    while (capacity < need) {
+        capacity *= 2;
+    }
+    grown = realloc(buf->a, (size_t)capacity * sizeof(int64_t));
+    if (grown == NULL) {
+        return 1;
+    }
+    buf->a = grown;
+    grown = realloc(buf->b, (size_t)capacity * sizeof(int64_t));
+    if (grown == NULL) {
+        return 1;
+    }
+    buf->b = grown;
+    buf->capacity = capacity;
+    return 0;
+}
+
+/* Exact F scores for `count` candidates of `m` parent cells each.
+ *
+ * c0 / c1:  [count * m] int64, candidate-major — cell j of candidate c is
+ *           (c0[c*m + j], c1[c*m + j]) = (X=0 count, X=1 count).
+ * n:        number of tuples (> 0; every candidate's counts sum to n —
+ *           the caller validates, exactly as the NumPy paths do).
+ * out:      [count] double, the (non-positive) F scores.
+ *
+ * Returns 0 on success, 1 on allocation failure, 2 on invalid arguments.
+ */
+int repro_score_f_batch(const int64_t *c0, const int64_t *c1,
+                        int64_t count, int64_t m, int64_t n,
+                        double *out)
+{
+    /* Masses at or above n/2 saturate the shortfall, so coordinates are
+     * capped at ceil(n/2): capping only merges states whose shortfall
+     * terms are already exactly zero (same argument as score_F_dp). */
+    int64_t cap, c, j, i;
+    buffer_t bufs[2];
+    int cur = 0;
+    int status = 0;
+
+    if (n <= 0 || count < 0 || m < 0 || c0 == NULL || c1 == NULL ||
+        out == NULL) {
+        return 2;
+    }
+    cap = (n + 1) / 2;
+
+    for (i = 0; i < 2; i++) {
+        bufs[i].capacity = 1024;
+        bufs[i].a = malloc((size_t)bufs[i].capacity * sizeof(int64_t));
+        bufs[i].b = malloc((size_t)bufs[i].capacity * sizeof(int64_t));
+        if (bufs[i].a == NULL || bufs[i].b == NULL) {
+            status = 1;
+        }
+    }
+
+    for (c = 0; c < count && status == 0; c++) {
+        const int64_t *r0 = c0 + c * m;
+        const int64_t *r1 = c1 + c * m;
+        int64_t base_a = 0, base_b = 0;
+        int64_t *fa, *fb;
+        int64_t size;
+        double best;
+
+        /* One-sided cells are forced (the other branch is dominated):
+         * fold them into the start state, exactly like the NumPy
+         * kernel's base_a / base_b. */
+        for (j = 0; j < m; j++) {
+            if (r1[j] == 0) {
+                base_a += r0[j];
+            }
+            if (r0[j] == 0) {
+                base_b += r1[j];
+            }
+        }
+        if (base_a > cap) {
+            base_a = cap;
+        }
+        if (base_b > cap) {
+            base_b = cap;
+        }
+        bufs[cur].a[0] = base_a;
+        bufs[cur].b[0] = base_b;
+        size = 1;
+
+        for (j = 0; j < m && status == 0; j++) {
+            const int64_t a0 = r0[j];
+            const int64_t b1 = r1[j];
+            int64_t s1, e2, i1, i2, outn, bestb;
+            int64_t *ta, *tb;
+
+            if (a0 == 0 || b1 == 0) {
+                continue; /* folded into the start state above */
+            }
+            fa = bufs[cur].a;
+            fb = bufs[cur].b;
+
+            /* Branch 1 sends the cell to Z0+ — states (min(a+c0, cap), b),
+             * a non-increasing with a capped prefix.  All capped entries
+             * share a = cap, and b grows along the frontier, so only the
+             * last of them can survive pruning: start the scan there. */
+            s1 = 0;
+            while (s1 + 1 < size && fa[s1 + 1] + a0 >= cap) {
+                s1++;
+            }
+            /* Branch 2 sends the cell to Z1+ — states (a, min(b+c1, cap)),
+             * b non-decreasing with a capped suffix; only the first capped
+             * entry (largest a) can survive: end the scan just past it. */
+            e2 = size;
+            while (e2 - 1 > 0 && fb[e2 - 2] + b1 >= cap) {
+                e2--;
+            }
+
+            if (ensure_capacity(&bufs[1 - cur],
+                                (size - s1) + e2 + 2) != 0) {
+                status = 1;
+                break;
+            }
+            ta = bufs[1 - cur].a;
+            tb = bufs[1 - cur].b;
+
+            /* Two-pointer merge in (a desc, b desc) order — the order of
+             * the NumPy prune's lexsort((-b, -a)) — keeping a state iff
+             * its b strictly exceeds every b seen so far (the running-max
+             * scan of Definition 4.6). */
+            i1 = s1;
+            i2 = 0;
+            outn = 0;
+            bestb = INT64_MIN;
+            while (i1 < size || i2 < e2) {
+                int64_t aa, bb;
+                int use1;
+                if (i1 >= size) {
+                    use1 = 0;
+                } else if (i2 >= e2) {
+                    use1 = 1;
+                } else {
+                    int64_t a1v = fa[i1] + a0;
+                    int64_t b2v = fb[i2] + b1;
+                    if (a1v > cap) {
+                        a1v = cap;
+                    }
+                    if (b2v > cap) {
+                        b2v = cap;
+                    }
+                    if (a1v != fa[i2]) {
+                        use1 = (a1v > fa[i2]);
+                    } else {
+                        use1 = (fb[i1] >= b2v);
+                    }
+                }
+                if (use1) {
+                    aa = fa[i1] + a0;
+                    if (aa > cap) {
+                        aa = cap;
+                    }
+                    bb = fb[i1];
+                    i1++;
+                } else {
+                    aa = fa[i2];
+                    bb = fb[i2] + b1;
+                    if (bb > cap) {
+                        bb = cap;
+                    }
+                    i2++;
+                }
+                if (bb > bestb) {
+                    ta[outn] = aa;
+                    tb[outn] = bb;
+                    outn++;
+                    bestb = bb;
+                }
+            }
+            cur = 1 - cur;
+            size = outn;
+        }
+        if (status != 0) {
+            break;
+        }
+
+        /* Shortfall floats: the one place doubles appear, using the same
+         * expression and operand order as both Python paths.  int64 ->
+         * double casts round exactly like NumPy's astype(float64). */
+        fa = bufs[cur].a;
+        fb = bufs[cur].b;
+        best = 2.0; /* shortfalls are in [0, 1] */
+        for (i = 0; i < size; i++) {
+            double sa = 0.5 - (double)fa[i] / (double)n;
+            double sb = 0.5 - (double)fb[i] / (double)n;
+            double value;
+            if (sa < 0.0) {
+                sa = 0.0;
+            }
+            if (sb < 0.0) {
+                sb = 0.0;
+            }
+            value = sa + sb;
+            if (value < best) {
+                best = value;
+            }
+        }
+        out[c] = -best;
+    }
+
+    for (i = 0; i < 2; i++) {
+        free(bufs[i].a);
+        free(bufs[i].b);
+    }
+    return status;
+}

@@ -60,6 +60,27 @@ assignments (Section 4.4).  Three regimes:
 * ``n`` too large for the bit fields (``3 * bit_length(n) > 62``) — falls
   back to the per-candidate reference DP; exactness is never at risk.
 
+The compiled backend
+--------------------
+The ``m > enum_max_cells`` regime has an optional **native** backend: the
+same frontier DP as a tight C loop (``core/_native/scoref.c``), selected
+once at import by :mod:`repro.core.kernel_backend`
+(``REPRO_KERNEL_BACKEND=auto|numpy|native``, default ``auto`` = use the
+compiled kernel when a toolchain exists, NumPy otherwise).  The native
+path is bit-identical to the NumPy path — all DP states are exact int64
+either way, and the final shortfall floats use the identical float64
+expression — so backend selection is invisible to every caller; the
+``backend=`` parameter exists for tests and benchmarks that pin one side.
+
+The I kernel
+------------
+``score_I_batch`` and the ragged :func:`score_I_segments` evaluate every
+candidate's three entropies through one segmented exact-sum pass
+(:func:`repro.infotheory.measures.entropy_segmented`): nonzero compaction
+and ``log`` run once over the concatenated batch, and per-candidate sums
+are reduced in NumPy's own per-array pairwise order, so each output stays
+bit-equal to ``mutual_information`` on that candidate alone.
+
 Validation is unified here: batched and scalar paths reject malformed
 counts identically (binary-child shape, integer counts, counts summing to
 ``n`` per candidate) — see :func:`validate_F_counts`.
@@ -67,11 +88,12 @@ counts identically (binary-child shape, integer counts, counts summing to
 
 from __future__ import annotations
 
-from typing import Dict, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-from repro.infotheory.measures import entropy
+from repro.core import kernel_backend
+from repro.infotheory.measures import _entropy_by_count
 
 __all__ = [
     "DEFAULT_ENUM_MAX_CELLS",
@@ -82,7 +104,9 @@ __all__ = [
     "score_F_batch",
     "score_F_dp",
     "score_I_batch",
+    "score_I_segments",
     "score_R_batch",
+    "score_R_segments",
 ]
 
 #: Enumeration / blocked-DP crossover: largest parent-cell count scored by
@@ -367,6 +391,24 @@ def _cid_of(ends: np.ndarray, active: int, size: int) -> np.ndarray:
     )
 
 
+def _native_for(backend: Optional[str]) -> Optional[kernel_backend.NativeKernel]:
+    """Resolve a per-call backend override to a native kernel (or None).
+
+    ``None`` defers to the import-time selection
+    (:data:`repro.core.kernel_backend.NATIVE_KERNEL`); ``"numpy"`` pins the
+    pure-NumPy path; ``"native"`` requires the compiled kernel, building it
+    on demand and raising :class:`~repro.core.kernel_backend.KernelBackendError`
+    when no toolchain exists.
+    """
+    if backend is None:
+        return kernel_backend.NATIVE_KERNEL
+    if backend == "numpy":
+        return None
+    if backend == "native":
+        return kernel_backend.NATIVE_KERNEL or kernel_backend.load_native()
+    raise ValueError(f"backend must be 'numpy' or 'native', got {backend!r}")
+
+
 def score_F_batch(
     counts: np.ndarray,
     n: int,
@@ -374,6 +416,7 @@ def score_F_batch(
     enum_max_cells: int = DEFAULT_ENUM_MAX_CELLS,
     block_cells: int = DEFAULT_BLOCK_CELLS,
     mask_cache: MaskCache = None,
+    backend: Optional[str] = None,
 ) -> np.ndarray:
     """Exact ``F`` for a whole batch of binary-child candidates at once.
 
@@ -394,6 +437,11 @@ def score_F_batch(
         step); also bit-identity-neutral.
     mask_cache:
         Optional :class:`MaskCache`; defaults to the module-shared one.
+    backend:
+        ``None`` (default) uses the backend selected at import;
+        ``"numpy"`` / ``"native"`` pin one side for tests and benchmarks.
+        Either way the scores are bit-identical — the native kernel runs
+        the same integer DP and the same final float expression.
 
     Returns the ``(batch,)`` float array of (non-positive) F scores, each
     bit-equal to ``score_F_dp`` on the same candidate.
@@ -402,6 +450,7 @@ def score_F_batch(
         raise ValueError("enum_max_cells must be non-negative")
     if block_cells < 1:
         raise ValueError("block_cells must be positive")
+    native = _native_for(backend)
     matrices = validate_F_counts(counts, n)
     count, m, _ = matrices.shape
     if count == 0:
@@ -411,12 +460,20 @@ def score_F_batch(
     cache = mask_cache if mask_cache is not None else shared_mask_cache
     # Enumeration is capped at 2^16 masks regardless of the requested
     # threshold — beyond that the mask matrix itself outgrows the cache.
+    # This regime is cheap and shared: the native kernel only replaces the
+    # frontier DP below it.
     if m <= min(enum_max_cells, 16):
         return _enumerate_F(matrices, n, cache)
+    if native is not None:
+        # The C frontier DP also covers the wide-n regime that would
+        # overflow the NumPy path's packed bit fields — its coordinates
+        # are plain int64 pairs, never packed.
+        return native.score_f_batch(matrices[:, :, 0], matrices[:, :, 1], n)
     field_bits = max(1, int(n).bit_length())
     if 2 * field_bits + 1 > 62:
-        # Packed states would overflow int64; exactness first.
-        return np.array([score_F_dp(row, n) for row in matrices])
+        # Packed states would overflow int64; exactness first.  Flatten
+        # each (m, 2) matrix — handed 2-D it would be misread as a batch.
+        return np.array([score_F_dp(row.reshape(-1), n) for row in matrices])
 
     cap = (n + 1) // 2
     c0 = matrices[:, :, 0]
@@ -491,26 +548,179 @@ def _as_joint_stack(joints: np.ndarray, child_size: int) -> np.ndarray:
     return stack
 
 
+def _rows_entropy(matrix: np.ndarray) -> np.ndarray:
+    """Per-row Shannon entropies of a rectangular float batch.
+
+    One segmented exact-sum pass over all rows; each output is bit-equal
+    to :func:`repro.infotheory.measures.entropy` on that row alone.
+    """
+    matrix = np.ascontiguousarray(matrix, dtype=float)
+    count, width = matrix.shape
+    return _entropy_by_count(
+        matrix.reshape(-1), np.full(count, width, dtype=np.int64)
+    )
+
+
 def score_I_batch(joints: np.ndarray, child_size: int) -> np.ndarray:
     """Mutual information for a batch of joints sharing a child size.
 
-    Marginalization is vectorized across the batch; the three entropies
-    stay per-candidate because their exact nonzero-compaction makes rows
-    ragged.  Each output is bit-equal to
-    ``mutual_information(joint, child_size)`` on the same joint.
+    Marginalization and all three entropy terms are vectorized across the
+    batch — the entropies go through the segmented exact-sum pass of
+    :func:`_rows_entropy`, whose per-row reduction order matches the
+    scalar :func:`~repro.infotheory.measures.entropy`.  Each output is
+    bit-equal to ``mutual_information(joint, child_size)`` on the same
+    joint.
     """
     stack = _as_joint_stack(joints, child_size)
     count = stack.shape[0]
-    parent = stack.sum(axis=2)
-    child = stack.sum(axis=1)
-    out = np.empty(count)
-    for i in range(count):
-        value = (
-            entropy(child[i])
-            + entropy(parent[i])
-            - entropy(stack[i].reshape(-1))
+    h_parent = _rows_entropy(stack.sum(axis=2))
+    h_child = _rows_entropy(stack.sum(axis=1))
+    h_joint = _rows_entropy(stack.reshape(count, -1))
+    return np.maximum(0.0, h_child + h_parent - h_joint)
+
+
+def _segment_groups(
+    lengths: np.ndarray, child_sizes: np.ndarray
+) -> List[Tuple[int, int, np.ndarray]]:
+    """Candidate indices grouped by (segment length, child size).
+
+    Returns ``(length, child_size, candidate_indices)`` triples; grouping
+    is a stable lexsort so traversal is deterministic given the candidate
+    order.
+    """
+    count = lengths.shape[0]
+    if count == 0:
+        return []
+    order = np.lexsort((child_sizes, lengths))
+    changed = (np.diff(lengths[order]) != 0) | (np.diff(child_sizes[order]) != 0)
+    bounds = np.concatenate([[0], np.nonzero(changed)[0] + 1, [count]])
+    return [
+        (
+            int(lengths[order[lo]]),
+            int(child_sizes[order[lo]]),
+            order[lo:hi],
         )
-        out[i] = max(0.0, float(value))
+        for lo, hi in zip(bounds[:-1], bounds[1:])
+    ]
+
+
+def _ragged_args(
+    values: np.ndarray,
+    offsets: np.ndarray,
+    lengths: np.ndarray,
+    child_sizes: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Canonicalize the ragged-batch arguments shared by the segment kernels."""
+    flat = np.ascontiguousarray(values, dtype=float).reshape(-1)
+    offsets = np.asarray(offsets, dtype=np.int64).reshape(-1)
+    lengths = np.asarray(lengths, dtype=np.int64).reshape(-1)
+    sizes = np.asarray(child_sizes, dtype=np.int64).reshape(-1)
+    if offsets.shape != lengths.shape or offsets.shape != sizes.shape:
+        raise ValueError("offsets, lengths and child_sizes must align")
+    if offsets.size and (
+        offsets.min() < 0 or int((offsets + lengths).max()) > flat.size
+    ):
+        raise ValueError("segment [offset, offset+length) out of bounds")
+    return flat, offsets, lengths, sizes
+
+
+def score_I_segments(
+    values: np.ndarray,
+    offsets: np.ndarray,
+    lengths: np.ndarray,
+    child_sizes: np.ndarray,
+) -> np.ndarray:
+    """Mutual information for a *ragged* batch of flat joints.
+
+    ``values`` concatenates the candidates' flat ``Pr[Pi, X]`` joints
+    (child innermost); candidate ``i`` occupies
+    ``values[offsets[i] : offsets[i] + lengths[i]]`` and has child domain
+    size ``child_sizes[i]``.  This is exactly the layout
+    :func:`repro.data.marginals.stacked_joint_counts` produces, so callers
+    feed the stacked block straight in — no per-candidate reshaping or
+    same-size bucketing on their side.
+
+    Candidates are permuted into ``(length, child_size)`` order by one
+    ragged gather, so every same-shape group is a contiguous block: the
+    joint entropy is a single segmented pass over the whole batch, and
+    each group's parent and child marginals are plain slice-reshape-sums
+    of its ``(group, parent_dom, child_size)`` stack — the exact
+    ``matrix.sum(axis=1)`` / ``matrix.sum(axis=0)`` reduction shapes of
+    the scalar path (NumPy's axis-0 order differs from a contiguous 1-D
+    sum, so the child term in particular must keep that stack shape).
+    The scores un-permute once at the end; every output is bit-equal to
+    ``mutual_information(values[segment], child_size)`` on that candidate
+    alone.
+    """
+    flat, offsets, lengths, sizes = _ragged_args(
+        values, offsets, lengths, child_sizes
+    )
+    count = offsets.shape[0]
+    if count == 0:
+        return np.empty(0)
+    if np.any(sizes < 1):
+        raise ValueError("child_sizes must be positive")
+    if np.any(lengths % sizes):
+        raise ValueError(
+            "each segment length must be a multiple of its child size"
+        )
+    total = int(lengths.sum())
+    order = np.lexsort((sizes, lengths))
+    g_lengths = lengths[order]
+    g_sizes = sizes[order]
+    bounds = np.concatenate([[0], np.cumsum(g_lengths)])
+    shift = np.repeat(offsets[order] - bounds[:-1], g_lengths)
+    grouped = flat[shift + np.arange(total, dtype=np.int64)]
+
+    h_joint = _entropy_by_count(grouped, g_lengths)
+
+    g_cells = g_lengths // g_sizes
+    parent_values = np.empty(int(g_cells.sum()))
+    child_values = np.empty(int(g_sizes.sum()))
+    edges = bounds.tolist()
+    p_edges = np.concatenate([[0], np.cumsum(g_cells)]).tolist()
+    c_edges = np.concatenate([[0], np.cumsum(g_sizes)]).tolist()
+    changed = (np.diff(g_lengths) != 0) | (np.diff(g_sizes) != 0)
+    starts = np.concatenate([[0], np.nonzero(changed)[0] + 1, [count]]).tolist()
+    for g in range(len(starts) - 1):
+        lo, hi = starts[g], starts[g + 1]
+        if g_lengths[lo] == 0:  # empty joints: both marginals are zeros
+            child_values[c_edges[lo] : c_edges[hi]] = 0.0
+            continue
+        stack = grouped[edges[lo] : edges[hi]].reshape(
+            hi - lo, -1, int(g_sizes[lo])
+        )
+        # Parent cells are contiguous child-size blocks (trailing axis);
+        # the child marginal keeps the scalar path's axis-0 sum shape.
+        parent_values[p_edges[lo] : p_edges[hi]] = stack.sum(axis=2).reshape(-1)
+        child_values[c_edges[lo] : c_edges[hi]] = stack.sum(axis=1).reshape(-1)
+    h_parent = _entropy_by_count(parent_values, g_cells)
+    h_child = _entropy_by_count(child_values, g_sizes)
+
+    scores = np.empty(count)
+    scores[order] = np.maximum(0.0, h_child + h_parent - h_joint)
+    return scores
+
+
+def score_R_segments(
+    values: np.ndarray,
+    offsets: np.ndarray,
+    lengths: np.ndarray,
+    child_sizes: np.ndarray,
+) -> np.ndarray:
+    """``R`` (Equation 11) for a ragged batch of flat joints.
+
+    Same ragged layout and grouping as :func:`score_I_segments`; each
+    ``(length, child_size)`` group delegates to the fully vectorized
+    :func:`score_R_batch`, preserving its per-candidate bit-identity.
+    """
+    flat, offsets, lengths, sizes = _ragged_args(
+        values, offsets, lengths, child_sizes
+    )
+    out = np.empty(offsets.shape[0])
+    for length, child_size, idx in _segment_groups(lengths, sizes):
+        gathered = flat[offsets[idx][:, None] + np.arange(length)]
+        out[idx] = score_R_batch(gathered, child_size)
     return out
 
 

@@ -20,7 +20,11 @@ the child attribute innermost (the layout produced by
 These are thin per-candidate wrappers over the batched kernels of
 :mod:`repro.core.score_kernels` — each delegates with a batch of one, so a
 scalar call returns exactly the float the batched engine produces for the
-same candidate.  :func:`score_F_bruteforce` stays here as the independent
+same candidate — and the batched F kernel in turn rides whichever backend
+:mod:`repro.core.kernel_backend` selected (the compiled ``scoref.c``
+frontier-merge tier when a C toolchain is available, NumPy otherwise;
+both bit-identical, see ``python -m repro.kernels``).
+:func:`score_F_bruteforce` stays here as the independent
 exponential-time test oracle.
 """
 

@@ -59,8 +59,8 @@ from repro.core.parent_sets import ParentSetCache, parent_set_domain_size
 from repro.core.score_kernels import (
     DEFAULT_ENUM_MAX_CELLS,
     score_F_batch,
-    score_I_batch,
-    score_R_batch,
+    score_I_segments,
+    score_R_segments,
 )
 from repro.core.scores import (
     score_F,
@@ -73,7 +73,6 @@ from repro.core.scores import (
 from repro.data.marginals import (
     domain_size,
     ensure_int64_domain,
-    segments_by_size,
     stacked_joint_counts,
 )
 from repro.data.table import Table
@@ -324,28 +323,21 @@ class CandidateScorer:
     ) -> None:
         """Score every listed child against one parent set (``I``/``R``).
 
-        Children are stacked by domain size and handed to the batched
-        kernels; the kernels are bit-equal to the scalar score functions on
-        each candidate's joint.  ``counted`` optionally supplies the
-        group's :meth:`_group_counts` tuple (from a shared streaming pass).
+        The stacked count block feeds the ragged segmented kernels
+        directly — no per-size bucketing or ``np.stack`` materialization;
+        the kernels are bit-equal to the scalar score functions on each
+        candidate's joint.  ``counted`` optionally supplies the group's
+        :meth:`_group_counts` tuple (from a shared streaming pass).
         """
-        parent_dom, sizes, block, offsets, lengths = (
+        _, sizes, block, offsets, lengths = (
             counted if counted is not None else self._group_counts(parents, children)
         )
         n = self.table.n
-        kernel = score_I_batch if self.score == "I" else score_R_batch
-        for child_size, members in segments_by_size(
-            sizes, offsets, lengths
-        ).items():
-            stack = np.stack(
-                [block[o : o + l] for _, o, l in members]
-            ).astype(float)
-            joints = (stack / n if n else stack).reshape(
-                len(members), parent_dom, child_size
-            )
-            values = kernel(joints, child_size)
-            for (position, _, _), value in zip(members, values):
-                self._score_memo[(children[position], parents)] = float(value)
+        floats = block.astype(float)
+        kernel = score_I_segments if self.score == "I" else score_R_segments
+        values = kernel(floats / n if n else floats, offsets, lengths, sizes)
+        for position, value in enumerate(values):
+            self._score_memo[(children[position], parents)] = float(value)
 
     def _score_F_groups(self, counted_groups) -> None:
         """Score all unscored ``F`` candidates of a round in batched kernels.

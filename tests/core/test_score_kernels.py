@@ -5,18 +5,28 @@ implementations on every input — these tests enforce that with
 ``np.array_equal`` (never ``approx``) across randomized grids, the
 enumeration/DP crossover, and the degenerate edges (zero-count cells,
 ``n = 0``, ``n = 1``, empty batches, forced one-sided candidates).
+
+The ``F`` cross-check grids run under **both** kernel backends (the
+pure-NumPy blocked DP and the compiled C frontier merge) whenever a C
+toolchain is available, so the native tier is held to the exact same
+bit-identity contract — not a looser "close enough" one.  Environments
+without a compiler skip the native side cleanly and still enforce the
+NumPy contract in full.
 """
 
 import numpy as np
 import pytest
 
+from repro.core import kernel_backend
 from repro.core.score_kernels import (
     DEFAULT_ENUM_MAX_CELLS,
     MaskCache,
     score_F_batch,
     score_F_dp,
     score_I_batch,
+    score_I_segments,
     score_R_batch,
+    score_R_segments,
     validate_F_counts,
 )
 from repro.core.scores import (
@@ -26,6 +36,27 @@ from repro.core.scores import (
     score_R,
 )
 from repro.infotheory.measures import mutual_information
+
+
+def _native_available() -> bool:
+    try:
+        kernel_backend.load_native()
+        return True
+    except kernel_backend.KernelBackendError:
+        return False
+
+
+#: Both kernel backends; the native side skips (not silently passes) when
+#: the environment has no C toolchain.
+BACKENDS = [
+    "numpy",
+    pytest.param(
+        "native",
+        marks=pytest.mark.skipif(
+            not _native_available(), reason="no C toolchain for native kernel"
+        ),
+    ),
+]
 
 
 def _random_batch(rng, cells, count, zero_heavy=False):
@@ -43,92 +74,123 @@ def _random_batch(rng, cells, count, zero_heavy=False):
     return matrices, n
 
 
+@pytest.mark.parametrize("backend", BACKENDS)
 class TestBlockedKernelCrossCheck:
     @pytest.mark.parametrize("cells", list(range(1, 21)))
-    def test_kernel_matches_dp_domains_1_to_20(self, cells):
+    def test_kernel_matches_dp_domains_1_to_20(self, cells, backend):
         """Blocked kernel == per-candidate DP, bitwise, domains 1..20."""
         rng = np.random.default_rng(1000 + cells)
         matrices, n = _random_batch(rng, cells, count=13)
-        got = score_F_batch(matrices, n)
+        got = score_F_batch(matrices, n, backend=backend)
         ref = np.array([score_F_dp(m.reshape(-1), n) for m in matrices])
         assert np.array_equal(got, ref)
-        # Forcing the blocked DP on small domains changes nothing either.
-        blocked = score_F_batch(matrices, n, enum_max_cells=0)
+        # Forcing the DP regime on small domains changes nothing either
+        # (under "native" this is where the C kernel actually runs).
+        blocked = score_F_batch(matrices, n, enum_max_cells=0, backend=backend)
         assert np.array_equal(blocked, ref)
 
     @pytest.mark.parametrize("cells", [1, 2, 3, 5, 8, 11, 13, 14])
-    def test_kernel_matches_bruteforce(self, cells):
+    def test_kernel_matches_bruteforce(self, cells, backend):
         """Kernel == exponential-time oracle wherever the oracle is feasible."""
         rng = np.random.default_rng(2000 + cells)
         matrices, n = _random_batch(rng, cells, count=5)
-        got = score_F_batch(matrices, n)
+        got = score_F_batch(matrices, n, enum_max_cells=0, backend=backend)
         oracle = np.array(
             [score_F_bruteforce(m.reshape(-1), n) for m in matrices]
         )
         assert np.array_equal(got, oracle)
 
     @pytest.mark.parametrize("cells", [4, 9, 15, 18])
-    def test_zero_heavy_counts(self, cells):
+    def test_zero_heavy_counts(self, cells, backend):
         """Zero-count cells and fully one-sided candidates stay exact."""
         rng = np.random.default_rng(3000 + cells)
         matrices, n = _random_batch(rng, cells, count=17, zero_heavy=True)
-        got = score_F_batch(matrices, n)
+        got = score_F_batch(matrices, n, enum_max_cells=0, backend=backend)
         ref = np.array([score_F_dp(m.reshape(-1), n) for m in matrices])
         assert np.array_equal(got, ref)
 
-    def test_all_one_sided_candidate(self):
+    def test_all_one_sided_candidate(self, backend):
         """Every cell forced: the DP loop never runs, bases decide alone."""
         matrices = np.array(
             [[[5, 0], [0, 3], [7, 0], [0, 5]]], dtype=np.int64
         )
         n = 20
-        got = score_F_batch(matrices, n, enum_max_cells=0)
+        got = score_F_batch(matrices, n, enum_max_cells=0, backend=backend)
         assert np.array_equal(
             got, np.array([score_F_dp(matrices[0].reshape(-1), n)])
         )
 
-    def test_n_zero(self):
+    def test_n_zero(self, backend):
         matrices = np.zeros((3, 15, 2), dtype=np.int64)
         assert np.array_equal(
-            score_F_batch(matrices, 0), np.full(3, -0.5)
+            score_F_batch(matrices, 0, backend=backend), np.full(3, -0.5)
         )
         assert score_F_dp(matrices[0].reshape(-1), 0) == -0.5
 
-    def test_n_one(self):
+    def test_n_one(self, backend):
         matrices = np.zeros((2, 14, 2), dtype=np.int64)
         matrices[0, 3, 0] = 1
         matrices[1, 9, 1] = 1
-        got = score_F_batch(matrices, 1, enum_max_cells=0)
+        got = score_F_batch(matrices, 1, enum_max_cells=0, backend=backend)
         ref = np.array([score_F_dp(m.reshape(-1), 1) for m in matrices])
         assert np.array_equal(got, ref)
 
-    def test_empty_batch(self):
-        assert score_F_batch(np.zeros((0, 13, 2), dtype=np.int64), 7).size == 0
+    def test_empty_batch(self, backend):
+        batch = np.zeros((0, 13, 2), dtype=np.int64)
+        assert score_F_batch(batch, 7, backend=backend).size == 0
 
-    def test_single_flat_joint_promoted(self):
+    def test_single_flat_joint_promoted(self, backend):
         flat = np.array([4, 1, 0, 3, 2, 2], dtype=np.int64)
-        assert score_F_batch(flat, 12).shape == (1,)
-        assert score_F_batch(flat, 12)[0] == score_F_dp(flat, 12)
+        assert score_F_batch(flat, 12, backend=backend).shape == (1,)
+        assert score_F_batch(flat, 12, backend=backend)[0] == score_F_dp(
+            flat, 12
+        )
 
-    def test_scalar_wrapper_delegates(self):
+    def test_huge_n_wide_domain(self, backend):
+        """n too wide for the NumPy path's packed bit fields stays exact.
+
+        The NumPy side falls back to the per-candidate reference DP; the
+        native side needs no fallback (its coordinates are never packed).
+        Either way the scores match the reference bitwise.
+        """
+        rng = np.random.default_rng(4000)
+        matrices, small_n = _random_batch(rng, 18, count=3)
+        n = (1 << 40) + small_n
+        matrices[:, 0, 0] += n - small_n
+        got = score_F_batch(matrices, n, backend=backend)
+        ref = np.array([score_F_dp(m.reshape(-1), n) for m in matrices])
+        assert np.array_equal(got, ref)
+
+    def test_scalar_wrapper_delegates(self, backend):
         rng = np.random.default_rng(7)
         matrices, n = _random_batch(rng, 16, count=4)
         for m in matrices:
             assert score_F(m.reshape(-1), n) == score_F_dp(m.reshape(-1), n)
+            assert score_F_batch(m.reshape(-1), n, backend=backend)[
+                0
+            ] == score_F_dp(m.reshape(-1), n)
 
 
 class TestEnumerationThreshold:
     """The crossover is a speed knob only — every value scores identically."""
 
+    @pytest.mark.parametrize("backend", BACKENDS)
     @pytest.mark.parametrize("threshold", [0, 1, 3, 7, 12, 16, 30])
-    def test_any_threshold_is_bit_identical(self, threshold):
+    def test_any_threshold_is_bit_identical(self, threshold, backend):
         rng = np.random.default_rng(42)
         matrices, n = _random_batch(rng, 13, count=9)
         reference = score_F_batch(
             matrices, n, enum_max_cells=DEFAULT_ENUM_MAX_CELLS
         )
-        got = score_F_batch(matrices, n, enum_max_cells=threshold)
+        got = score_F_batch(
+            matrices, n, enum_max_cells=threshold, backend=backend
+        )
         assert np.array_equal(got, reference)
+
+    def test_unknown_backend_rejected(self):
+        matrices = np.zeros((1, 2, 2), dtype=np.int64)
+        with pytest.raises(ValueError, match="backend"):
+            score_F_batch(matrices, 0, backend="fortran")
 
     @pytest.mark.parametrize("block_cells", [1, 2, 5, 12])
     def test_any_block_width_is_bit_identical(self, block_cells):
@@ -245,6 +307,59 @@ class TestIRBatchKernels:
     def test_bad_shape_rejected(self):
         with pytest.raises(ValueError, match="joints"):
             score_I_batch(np.zeros((2, 3, 4)), 2)
+
+    @staticmethod
+    def _ragged_batch(rng, count):
+        """Concatenated flat joints of mixed child sizes and parent domains."""
+        parts, offsets, lengths, sizes = [], [], [], []
+        position = 0
+        for _ in range(count):
+            child_size = int(rng.integers(2, 6))
+            parent_dom = int(rng.integers(1, 9))
+            joint = rng.dirichlet(np.ones(parent_dom * child_size))
+            joint[joint < 0.05] = 0.0
+            parts.append(joint)
+            offsets.append(position)
+            lengths.append(joint.size)
+            sizes.append(child_size)
+            position += joint.size
+        return np.concatenate(parts), offsets, lengths, sizes
+
+    def test_score_I_segments_matches_scalar(self):
+        rng = np.random.default_rng(9)
+        flat, offsets, lengths, sizes = self._ragged_batch(rng, 60)
+        got = score_I_segments(flat, offsets, lengths, sizes)
+        ref = np.array(
+            [
+                mutual_information(flat[o : o + l], cs)
+                for o, l, cs in zip(offsets, lengths, sizes)
+            ]
+        )
+        assert np.array_equal(got, ref)
+
+    def test_score_R_segments_matches_scalar(self):
+        rng = np.random.default_rng(10)
+        flat, offsets, lengths, sizes = self._ragged_batch(rng, 40)
+        got = score_R_segments(flat, offsets, lengths, sizes)
+        ref = np.array(
+            [
+                score_R(flat[o : o + l], cs)
+                for o, l, cs in zip(offsets, lengths, sizes)
+            ]
+        )
+        assert np.array_equal(got, ref)
+
+    def test_segments_empty_batch(self):
+        assert score_I_segments(np.zeros(0), [], [], []).size == 0
+        assert score_R_segments(np.zeros(0), [], [], []).size == 0
+
+    def test_segments_misaligned_args_rejected(self):
+        with pytest.raises(ValueError, match="align"):
+            score_I_segments(np.zeros(4), [0], [4, 0], [2])
+
+    def test_segments_out_of_bounds_rejected(self):
+        with pytest.raises(ValueError, match="bounds"):
+            score_I_segments(np.zeros(4), [2], [4], [2])
 
 
 class TestEngineIntegration:

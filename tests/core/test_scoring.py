@@ -47,14 +47,14 @@ class TestMemoization:
 
         scorer = CandidateScorer(binary_table, "I")
         scored = []
-        original = scoring_module.score_I_batch
+        original = scoring_module.score_I_segments
 
-        def counting(joints, child_size):
-            values = original(joints, child_size)
-            scored.extend(range(values.size))
-            return values
+        def counting(values, offsets, lengths, child_sizes):
+            result = original(values, offsets, lengths, child_sizes)
+            scored.extend(range(result.size))
+            return result
 
-        monkeypatch.setattr(scoring_module, "score_I_batch", counting)
+        monkeypatch.setattr(scoring_module, "score_I_segments", counting)
         rounds = _fixed_k_candidates(binary_table)
         for candidates in rounds:
             scorer.score_batch(candidates)

@@ -8,11 +8,104 @@ from hypothesis import strategies as st
 from repro.infotheory.measures import (
     conditional_entropy,
     entropy,
+    entropy_segmented,
     kl_divergence,
     mutual_information,
     mutual_information_from_table,
+    segment_sums,
     total_variation_distance,
 )
+
+
+def _ragged_segments(rng, count, max_len=40):
+    """Concatenated random vectors (with zeros) and their segment ids."""
+    lengths = rng.integers(0, max_len, size=count)
+    values = rng.random(int(lengths.sum()))
+    values[rng.random(values.size) < 0.3] = 0.0
+    ids = np.repeat(np.arange(count, dtype=np.int64), lengths)
+    offsets = np.concatenate([[0], np.cumsum(lengths)])
+    return values, ids, offsets, lengths
+
+
+class TestSegmentSums:
+    """Exact-sum contract: bit-equal to each segment's standalone .sum()."""
+
+    def test_bit_identical_to_per_segment_sums(self):
+        rng = np.random.default_rng(21)
+        values, ids, offsets, lengths = _ragged_segments(rng, 200)
+        got = segment_sums(values, ids, 200)
+        want = np.array(
+            [values[o : o + l].sum() for o, l in zip(offsets, lengths)]
+        )
+        assert np.array_equal(got, want)
+
+    def test_long_segments_cross_pairwise_blocks(self):
+        """Lengths beyond NumPy's pairwise-summation block size stay exact."""
+        rng = np.random.default_rng(22)
+        lengths = [1, 7, 129, 500, 1000]
+        values = rng.random(sum(lengths))
+        ids = np.repeat(np.arange(len(lengths)), lengths)
+        got = segment_sums(values, ids, len(lengths))
+        offsets = np.concatenate([[0], np.cumsum(lengths)])
+        want = np.array(
+            [values[o : o + l].sum() for o, l in zip(offsets, lengths)]
+        )
+        assert np.array_equal(got, want)
+
+    def test_empty_segments_are_zero(self):
+        got = segment_sums(np.array([1.5, 2.5]), np.array([1, 1]), 4)
+        assert np.array_equal(got, np.array([0.0, 4.0, 0.0, 0.0]))
+
+    def test_empty_input(self):
+        assert np.array_equal(segment_sums(np.zeros(0), np.zeros(0), 3), np.zeros(3))
+        assert segment_sums(np.zeros(0), np.zeros(0), 0).size == 0
+
+    def test_unsorted_ids_rejected(self):
+        with pytest.raises(ValueError, match="sorted"):
+            segment_sums(np.ones(3), np.array([0, 2, 1]), 3)
+
+    def test_out_of_range_ids_rejected(self):
+        with pytest.raises(ValueError, match="num_segments"):
+            segment_sums(np.ones(2), np.array([0, 5]), 3)
+        with pytest.raises(ValueError, match="num_segments"):
+            segment_sums(np.ones(2), np.array([-1, 0]), 3)
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="same length"):
+            segment_sums(np.ones(3), np.array([0, 1]), 2)
+
+
+class TestEntropySegmented:
+    """Each output is bit-equal to entropy() on that segment alone."""
+
+    def test_bit_identical_to_scalar_entropy(self):
+        rng = np.random.default_rng(23)
+        values, ids, offsets, lengths = _ragged_segments(rng, 150)
+        got = entropy_segmented(values, ids, 150)
+        want = np.array(
+            [entropy(values[o : o + l]) for o, l in zip(offsets, lengths)]
+        )
+        assert np.array_equal(got, want)
+
+    def test_all_zero_segment_matches_scalar(self):
+        """entropy() of an all-zero vector is -0.0; segmented agrees."""
+        values = np.array([0.0, 0.0, 0.5, 0.5])
+        ids = np.array([0, 0, 1, 1])
+        got = entropy_segmented(values, ids, 2)
+        assert got[0] == entropy(np.zeros(2))
+        assert got[1] == entropy(np.array([0.5, 0.5]))
+
+    def test_single_segment_matches_entropy(self):
+        rng = np.random.default_rng(24)
+        p = rng.dirichlet(np.ones(40))
+        p[p < 0.01] = 0.0
+        got = entropy_segmented(p, np.zeros(p.size, dtype=np.int64), 1)
+        assert got.shape == (1,)
+        assert got[0] == entropy(p)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="same length"):
+            entropy_segmented(np.ones(3), np.array([0, 1]), 2)
 
 
 class TestEntropy:
