@@ -19,6 +19,7 @@ from repro.core.noisy_conditionals import (
 from repro.core.sampler import sample_synthetic
 from repro.core.theta import choose_k_binary
 from repro.datasets import load_dataset
+from repro.dp.accountant import split_epsilon
 from repro.experiments.framework import ExperimentResult, render_result
 from repro.workloads import (
     all_alpha_marginals,
@@ -44,8 +45,7 @@ def _run(epsilons, repeats, n, seed):
         buckets = {name: [] for name in series}
         for r in range(repeats):
             rng = np.random.default_rng(seed * 7919 + eps_idx * 101 + r)
-            epsilon1 = 0.3 * epsilon
-            epsilon2 = 0.7 * epsilon
+            epsilon1, epsilon2 = split_epsilon(epsilon, (0.3, 0.7))
             k = max(1, choose_k_binary(table.n, table.d, epsilon2, 4.0))
             network = greedy_bayes_fixed_k(
                 table, k, epsilon1, score="F", rng=rng,

@@ -21,6 +21,7 @@ from pathlib import Path
 from typing import Dict, Iterable, List
 
 from repro.analysis.rules import Finding
+from repro.core.serialize import atomic_write_text
 
 BASELINE_SCHEMA_VERSION = 1
 
@@ -61,7 +62,9 @@ def write_baseline(path: Path, findings: Iterable[Finding]) -> Dict[str, int]:
         ),
         "entries": dict(sorted(entries.items())),
     }
-    path.write_text(json.dumps(payload, indent=2) + "\n")
+    # Atomic like every other persisted artifact: a crash mid-write must
+    # not leave a torn baseline that silently un-grandfathers the tree.
+    atomic_write_text(path, json.dumps(payload, indent=2) + "\n")
     return entries
 
 

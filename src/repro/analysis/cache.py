@@ -27,8 +27,17 @@ def content_digest(data: bytes) -> str:
     return hashlib.sha256(data).hexdigest()
 
 
-def rules_signature(rules: Sequence[Rule]) -> str:
-    return ANALYZER_VERSION + ":" + ",".join(sorted(rule.id for rule in rules))
+def rules_signature(rules: Sequence[Rule], context_fingerprint: str = "") -> str:
+    """Cache signature: analyzer version + active rules + pass-1 context.
+
+    The context fingerprint covers the project symbol graph and the
+    native C sources, so cross-file changes invalidate cached flow-tier
+    findings even when the cached file itself is byte-identical.
+    """
+    base = ANALYZER_VERSION + ":" + ",".join(sorted(rule.id for rule in rules))
+    if context_fingerprint:
+        base += "+ctx:" + context_fingerprint
+    return base
 
 
 class ResultCache:

@@ -63,6 +63,16 @@ def _build_parser() -> argparse.ArgumentParser:
         "--no-cache", action="store_true", help="disable the result cache"
     )
     parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help=(
+            "run pass 2 (per-file rules) across N worker processes; "
+            "findings are identical to a serial run (default: 1)"
+        ),
+    )
+    parser.add_argument(
         "--list-rules", action="store_true", help="describe the rule set and exit"
     )
     return parser
@@ -93,7 +103,7 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if args.list_rules:
         for rule in default_rules():
-            print(f"{rule.id}  {rule.title}")
+            print(f"{rule.id}  [{rule.tier}] {rule.title}")
             print(f"       {rule.rationale}")
         return 0
     if not args.paths:
@@ -109,7 +119,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     if not args.no_cache:
         cache = ResultCache(args.cache or Path(DEFAULT_CACHE_NAME))
 
-    report = analyze_paths(args.paths, cache=cache, baseline=baseline)
+    if args.jobs < 1:
+        parser.error("--jobs must be >= 1")
+    report = analyze_paths(
+        args.paths, cache=cache, baseline=baseline, jobs=args.jobs
+    )
     if cache is not None:
         cache.save()
 

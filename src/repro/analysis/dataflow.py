@@ -1,0 +1,329 @@
+"""Intraprocedural dataflow engine for the flow-tier rules.
+
+Three classic building blocks, each sized for function-scale graphs:
+
+* :func:`build_cfg` — a statement-level control-flow graph per function
+  (``if``/``while``/``for``/``try``/``with``/``break``/``continue``/
+  ``return``/``raise`` all modeled; every statement inside a ``try``
+  body conservatively edges into each handler).  An optional
+  ``branch_filter`` lets a rule prune branches it knows are infeasible
+  in the scenario it checks — e.g. PRIV003 analyzes the
+  ``accountant is not None`` world, so the ``is None`` arm drops out
+  and a guarded ``accountant.spend`` still dominates the data access.
+* :func:`dominators` — iterative dominator sets over that CFG, the
+  "is every path to this access preceded by a spend?" primitive.
+* :func:`reaching_definitions` — which assignment of a name reaches a
+  use; DET004 uses it to tell one generator drawn in two sibling loops
+  (one definition reaching both) from a re-seeded generator (two
+  definitions, one per loop).
+
+All structures are plain dicts/lists so ``--jobs`` workers can pickle
+rule inputs freely.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+BranchFilter = Callable[[ast.expr], Optional[bool]]
+
+#: Node indices of the two synthetic endpoints.
+ENTRY = 0
+EXIT = 1
+
+
+@dataclass
+class CFG:
+    """Statement-level control-flow graph of one function body."""
+
+    #: ``nodes[i]`` is the statement at node ``i`` (None for entry/exit).
+    nodes: List[Optional[ast.stmt]] = field(default_factory=list)
+    succ: Dict[int, Set[int]] = field(default_factory=dict)
+    pred: Dict[int, Set[int]] = field(default_factory=dict)
+
+    def node_of(self, stmt: ast.stmt) -> Optional[int]:
+        for index, node in enumerate(self.nodes):
+            if node is stmt:
+                return index
+        return None
+
+
+class _Builder:
+    def __init__(self, branch_filter: Optional[BranchFilter]) -> None:
+        self.cfg = CFG(nodes=[None, None], succ={}, pred={})
+        for index in (ENTRY, EXIT):
+            self.cfg.succ[index] = set()
+            self.cfg.pred[index] = set()
+        self.branch_filter = branch_filter
+        #: Stack of (continue-target, break-sink list) for enclosing loops.
+        self._loops: List[Tuple[int, List[int]]] = []
+        #: Stack of handler-entry node lists for enclosing ``try`` bodies.
+        self._handlers: List[List[int]] = []
+
+    def new_node(self, stmt: Optional[ast.stmt]) -> int:
+        index = len(self.cfg.nodes)
+        self.cfg.nodes.append(stmt)
+        self.cfg.succ[index] = set()
+        self.cfg.pred[index] = set()
+        # Anything inside a try body may raise into its handlers.
+        for handlers in self._handlers:
+            for handler in handlers:
+                self.edge(index, handler)
+        return index
+
+    def edge(self, source: int, target: int) -> None:
+        self.cfg.succ[source].add(target)
+        self.cfg.pred[target].add(source)
+
+    def connect(self, frontier: Sequence[int], target: int) -> None:
+        for node in frontier:
+            self.edge(node, target)
+
+    # ------------------------------------------------------------------
+    def block(self, stmts: Sequence[ast.stmt], frontier: List[int]) -> List[int]:
+        for stmt in stmts:
+            if not frontier:
+                break  # unreachable code after return/raise/break
+            frontier = self.statement(stmt, frontier)
+        return frontier
+
+    def statement(self, stmt: ast.stmt, frontier: List[int]) -> List[int]:
+        if isinstance(stmt, ast.If):
+            return self._if(stmt, frontier)
+        if isinstance(stmt, (ast.While, ast.For, ast.AsyncFor)):
+            return self._loop(stmt, frontier)
+        if isinstance(stmt, ast.Try):
+            return self._try(stmt, frontier)
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            node = self.new_node(stmt)
+            self.connect(frontier, node)
+            return self.block(stmt.body, [node])
+        if isinstance(stmt, (ast.Return, ast.Raise)):
+            node = self.new_node(stmt)
+            self.connect(frontier, node)
+            self.edge(node, EXIT)
+            return []
+        if isinstance(stmt, ast.Break):
+            node = self.new_node(stmt)
+            self.connect(frontier, node)
+            if self._loops:
+                self._loops[-1][1].append(node)
+            return []
+        if isinstance(stmt, ast.Continue):
+            node = self.new_node(stmt)
+            self.connect(frontier, node)
+            if self._loops:
+                self.edge(node, self._loops[-1][0])
+            return []
+        node = self.new_node(stmt)
+        self.connect(frontier, node)
+        return [node]
+
+    def _if(self, stmt: ast.If, frontier: List[int]) -> List[int]:
+        node = self.new_node(stmt)
+        self.connect(frontier, node)
+        taken = self.branch_filter(stmt.test) if self.branch_filter else None
+        out: List[int] = []
+        if taken is not False:
+            out.extend(self.block(stmt.body, [node]))
+        if taken is not True:
+            out.extend(self.block(stmt.orelse, [node]) if stmt.orelse else [node])
+        return out
+
+    def _loop(self, stmt: ast.stmt, frontier: List[int]) -> List[int]:
+        head = self.new_node(stmt)
+        self.connect(frontier, head)
+        breaks: List[int] = []
+        self._loops.append((head, breaks))
+        body_frontier = self.block(stmt.body, [head])
+        self._loops.pop()
+        self.connect(body_frontier, head)
+        out = [head] + breaks
+        if stmt.orelse:
+            out = self.block(stmt.orelse, out)
+        return out
+
+    def _try(self, stmt: ast.Try, frontier: List[int]) -> List[int]:
+        handler_entries = [self.new_node(handler_stub) for handler_stub in stmt.handlers]
+        self._handlers.append(handler_entries)
+        body_frontier = self.block(stmt.body, list(frontier))
+        self._handlers.pop()
+        # Exceptions may fire before the first body statement runs.
+        for handler in handler_entries:
+            self.connect(frontier, handler)
+        out: List[int] = []
+        if stmt.orelse:
+            out.extend(self.block(stmt.orelse, body_frontier))
+        else:
+            out.extend(body_frontier)
+        for entry, handler in zip(handler_entries, stmt.handlers):
+            out.extend(self.block(handler.body, [entry]))
+        if stmt.finalbody:
+            out = self.block(stmt.finalbody, out)
+        return out
+
+
+def build_cfg(
+    body: Sequence[ast.stmt],
+    branch_filter: Optional[BranchFilter] = None,
+) -> CFG:
+    """CFG of a statement list (typically a ``FunctionDef.body``)."""
+    builder = _Builder(branch_filter)
+    frontier = builder.block(list(body), [ENTRY])
+    builder.connect(frontier, EXIT)
+    return builder.cfg
+
+
+# ---------------------------------------------------------------------------
+# dominators
+
+
+def dominators(cfg: CFG) -> Dict[int, Set[int]]:
+    """``dom[n]`` = nodes on *every* path from entry to ``n`` (incl. n)."""
+    nodes = list(range(len(cfg.nodes)))
+    full = set(nodes)
+    dom: Dict[int, Set[int]] = {n: set(full) for n in nodes}
+    dom[ENTRY] = {ENTRY}
+    changed = True
+    while changed:
+        changed = False
+        for node in nodes:
+            if node == ENTRY:
+                continue
+            preds = cfg.pred[node]
+            if preds:
+                new = set.intersection(*(dom[p] for p in preds))
+            else:
+                new = set()  # unreachable: dominated by nothing real
+            new.add(node)
+            if new != dom[node]:
+                dom[node] = new
+                changed = True
+    return dom
+
+
+def dominates(dom: Dict[int, Set[int]], a: int, b: int) -> bool:
+    return a in dom.get(b, set())
+
+
+# ---------------------------------------------------------------------------
+# reaching definitions
+
+
+def assigned_names(stmt: ast.stmt) -> Set[str]:
+    """Names (re)bound by one statement, walrus expressions included."""
+    names: Set[str] = set()
+
+    def collect_target(target: ast.AST) -> None:
+        if isinstance(target, ast.Name):
+            names.add(target.id)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                collect_target(element)
+        elif isinstance(target, ast.Starred):
+            collect_target(target.value)
+
+    if isinstance(stmt, ast.Assign):
+        for target in stmt.targets:
+            collect_target(target)
+    elif isinstance(stmt, (ast.AnnAssign, ast.AugAssign)):
+        collect_target(stmt.target)
+    elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+        collect_target(stmt.target)
+    elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+        for item in stmt.items:
+            if item.optional_vars is not None:
+                collect_target(item.optional_vars)
+    elif isinstance(stmt, ast.ExceptHandler) and stmt.name:
+        names.add(stmt.name)
+    # Walrus anywhere in the statement's expressions (loop heads, tests,
+    # calls) also binds — but do not descend into nested function/class
+    # bodies, whose assignments are a different scope.
+    for node in ast.walk(stmt):
+        if isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+        ) and node is not stmt:
+            continue
+        if isinstance(node, ast.NamedExpr) and isinstance(
+            node.target, ast.Name
+        ):
+            names.add(node.target.id)
+    return names
+
+
+def reaching_definitions(cfg: CFG) -> Dict[int, Set[Tuple[str, int]]]:
+    """``in[n]`` = set of ``(name, defining node)`` pairs reaching ``n``.
+
+    The synthetic entry node is the defining node for parameters and
+    anything defined outside the analyzed body.
+    """
+    nodes = list(range(len(cfg.nodes)))
+    gen: Dict[int, Set[Tuple[str, int]]] = {}
+    kill_names: Dict[int, Set[str]] = {}
+    for node in nodes:
+        stmt = cfg.nodes[node]
+        names = assigned_names(stmt) if stmt is not None else set()
+        gen[node] = {(name, node) for name in names}
+        kill_names[node] = names
+    reach_in: Dict[int, Set[Tuple[str, int]]] = {n: set() for n in nodes}
+    reach_out: Dict[int, Set[Tuple[str, int]]] = {n: set(gen[n]) for n in nodes}
+    worklist = list(nodes)
+    while worklist:
+        node = worklist.pop()
+        incoming: Set[Tuple[str, int]] = set()
+        for pred in cfg.pred[node]:
+            incoming |= reach_out[pred]
+        reach_in[node] = incoming
+        survived = {
+            pair for pair in incoming if pair[0] not in kill_names[node]
+        }
+        new_out = survived | gen[node]
+        if new_out != reach_out[node]:
+            reach_out[node] = new_out
+            worklist.extend(cfg.succ[node])
+    return reach_in
+
+
+# ---------------------------------------------------------------------------
+# convenience: None-guard branch filter (PRIV003's pruning)
+
+
+def none_guard_filter(names: Set[str]) -> BranchFilter:
+    """Branch filter assuming every name in ``names`` is not None.
+
+    ``if x is None: ...`` prunes to the else arm; ``if x is not None:``
+    prunes to the body.  Anything else stays two-armed.
+    """
+
+    def decide(test: ast.expr) -> Optional[bool]:
+        if (
+            isinstance(test, ast.Compare)
+            and len(test.ops) == 1
+            and isinstance(test.left, ast.Name)
+            and test.left.id in names
+            and len(test.comparators) == 1
+            and isinstance(test.comparators[0], ast.Constant)
+            and test.comparators[0].value is None
+        ):
+            if isinstance(test.ops[0], ast.Is):
+                return False  # "x is None" is false in the not-None world
+            if isinstance(test.ops[0], ast.IsNot):
+                return True
+        return None
+
+    return decide
+
+
+__all__ = [
+    "CFG",
+    "ENTRY",
+    "EXIT",
+    "assigned_names",
+    "build_cfg",
+    "dominates",
+    "dominators",
+    "none_guard_filter",
+    "reaching_definitions",
+]

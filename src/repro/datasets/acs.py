@@ -80,6 +80,7 @@ def load_acs(n: Optional[int] = None, seed: int = 0) -> Table:
         columns[name] = (rng.random(n) < _sigmoid(logit)).astype(np.int64)
     for cause, effect, strength in _COUPLINGS:
         boosted = _sigmoid(base_logits[effect] + strength * (2 * columns[cause] - 1))
+        # repro: allow[DET004] -- seeded one-shot generator: the draw sequence is part of the frozen stand-in dataset definition
         columns[effect] = (rng.random(n) < boosted).astype(np.int64)
     attrs = [Attribute.binary(name, ("no", "yes")) for name, _, _, _ in _FLAGS]
     return Table(attrs, columns)

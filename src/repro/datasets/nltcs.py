@@ -111,6 +111,7 @@ def load_nltcs(n: Optional[int] = None, seed: int = 0) -> Table:
             + _DIFFICULTY[effect]
             + strength * (2 * columns[cause] - 1)
         )
+        # repro: allow[DET004] -- seeded one-shot generator: the draw sequence is part of the frozen stand-in dataset definition
         columns[effect] = (rng.random(n) < boosted).astype(np.int64)
     attrs = [Attribute.binary(name, ("able", "unable")) for name in ACTIVITIES]
     return Table(attrs, columns)

@@ -116,12 +116,14 @@ def release_two_tables(
     if len(split) != 3 or abs(sum(split) - 1.0) > 1e-9 or min(split) <= 0:
         raise ValueError("split must be three positive fractions summing to 1")
     if max_fanout is None:
+        # repro: allow[PRIV003] -- documented leak: the data-derived default bound is public-by-assumption (pass a fixed bound for strict DP)
         max_fanout = linked.max_fanout()
     if max_fanout < 1:
         raise ValueError("max_fanout must be at least 1")
     accountant = PrivacyAccountant(epsilon)
     eps_primary, eps_fanout, eps_child = split_epsilon(epsilon, split)
 
+    # repro: allow[PRIV003] -- contribution-bounding preprocessing; its effect is priced into the three phase charges below
     truncated = linked.truncate(max_fanout, rng)
 
     # --- primary table: plain single-table PrivBayes -------------------

@@ -36,7 +36,9 @@ FINDING_KEYS = {
     "justification",
     "fingerprint",
     "snippet",
+    "tier",
 }
+RULE_ENTRY_KEYS = {"id", "title", "tier"}
 
 
 def run_cli(args, capsys):
@@ -65,8 +67,25 @@ class TestExitCodes:
     def test_list_rules_exits_zero(self, capsys):
         code, out = run_cli(["--list-rules"], capsys)
         assert code == 0
-        for rule_id in ("DET001", "DET002", "DET003", "PRIV001", "PRIV002", "NUM001"):
+        for rule_id in (
+            "DET001",
+            "DET002",
+            "DET003",
+            "DET004",
+            "PRIV001",
+            "PRIV002",
+            "PRIV003",
+            "CONC001",
+            "ABI001",
+            "NUM001",
+        ):
             assert rule_id in out
+
+    def test_jobs_must_be_positive(self, tmp_path, capsys):
+        (tmp_path / "ok.py").write_text(CLEAN)
+        with pytest.raises(SystemExit) as excinfo:
+            main([str(tmp_path), "--no-cache", "--jobs", "0"])
+        assert excinfo.value.code == 2
 
 
 class TestJsonSchema:
@@ -75,13 +94,18 @@ class TestJsonSchema:
         code, out = run_cli([tmp_path, "--no-cache", "--format", "json"], capsys)
         assert code == 1
         payload = json.loads(out)
-        assert payload["schema_version"] == REPORT_SCHEMA_VERSION == 1
+        assert payload["schema_version"] == REPORT_SCHEMA_VERSION == 2
         assert set(payload) == TOP_LEVEL_KEYS
         assert payload["counts"] == {"open": 1, "suppressed": 0, "baselined": 0}
         (finding,) = payload["findings"]
         assert set(finding) == FINDING_KEYS
         assert finding["rule"] == "DET001"
         assert finding["status"] == "open"
+        assert finding["tier"] == "ast"
+        for rule_entry in payload["rules"]:
+            assert set(rule_entry) == RULE_ENTRY_KEYS
+            assert rule_entry["tier"] in ("ast", "flow")
+        assert {r["tier"] for r in payload["rules"]} == {"ast", "flow"}
 
     def test_json_is_deterministic_across_runs(self, tmp_path, capsys):
         (tmp_path / "bad.py").write_text(DIRTY)
@@ -136,11 +160,15 @@ class TestCache:
         assert (third.cache_hits, third.cache_misses) == (0, 1)
 
 
+#: Everything the CI analysis job sweeps (PR 10 widened it from src+tests).
+GATE_PATHS = ("src", "tests", "benchmarks", "examples")
+
+
 class TestSelfHosted:
     def test_repo_src_and_tests_are_clean(self):
         """The CI gate, run in-process: no open findings over the repo."""
         report = analyze_paths(
-            [REPO_ROOT / "src", REPO_ROOT / "tests"],
+            [REPO_ROOT / p for p in GATE_PATHS],
             cache=None,
             root=REPO_ROOT,
         )
@@ -161,8 +189,7 @@ class TestSelfHosted:
                 sys.executable,
                 "-m",
                 "repro.analysis",
-                "src",
-                "tests",
+                *GATE_PATHS,
                 "--no-cache",
                 "--format",
                 "json",
@@ -176,3 +203,21 @@ class TestSelfHosted:
         payload = json.loads(proc.stdout)
         assert payload["counts"]["open"] == 0
         assert payload["files_scanned"] > 100
+
+    def test_jobs_run_matches_serial_run(self, tmp_path):
+        """--jobs parallelism may not change the finding set (order incl.)."""
+        serial = analyze_paths(
+            [REPO_ROOT / "src" / "repro" / "analysis"],
+            cache=None,
+            root=REPO_ROOT,
+        )
+        parallel = analyze_paths(
+            [REPO_ROOT / "src" / "repro" / "analysis"],
+            cache=None,
+            root=REPO_ROOT,
+            jobs=2,
+        )
+        assert [f.to_dict() for f in parallel.findings] == [
+            f.to_dict() for f in serial.findings
+        ]
+        assert parallel.files_scanned == serial.files_scanned

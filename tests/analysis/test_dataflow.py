@@ -1,0 +1,285 @@
+"""Intraprocedural dataflow engine: CFG shape, dominators, reaching defs."""
+
+import ast
+
+from repro.analysis.dataflow import (
+    ENTRY,
+    EXIT,
+    assigned_names,
+    build_cfg,
+    dominates,
+    dominators,
+    none_guard_filter,
+    reaching_definitions,
+)
+
+
+def fn_body(source):
+    tree = ast.parse(source)
+    (fn,) = [
+        node
+        for node in tree.body
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+    ]
+    return fn.body
+
+
+def node_for(cfg, needle, source_lines=None):
+    """CFG node whose statement's first line contains ``needle``."""
+    for index, stmt in enumerate(cfg.nodes):
+        if stmt is not None and needle in ast.unparse(stmt).splitlines()[0]:
+            return index
+    raise AssertionError(f"no node matching {needle!r}")
+
+
+class TestCfgShape:
+    def test_straight_line(self):
+        cfg = build_cfg(fn_body("def f():\n    a = 1\n    b = 2\n"))
+        a, b = node_for(cfg, "a = 1"), node_for(cfg, "b = 2")
+        assert cfg.succ[ENTRY] == {a}
+        assert cfg.succ[a] == {b}
+        assert cfg.succ[b] == {EXIT}
+
+    def test_if_branches_rejoin(self):
+        cfg = build_cfg(
+            fn_body(
+                "def f(c):\n"
+                "    if c:\n"
+                "        a = 1\n"
+                "    else:\n"
+                "        b = 2\n"
+                "    tail = 3\n"
+            )
+        )
+        tail = node_for(cfg, "tail = 3")
+        assert cfg.pred[tail] == {
+            node_for(cfg, "a = 1"),
+            node_for(cfg, "b = 2"),
+        }
+
+    def test_return_edges_to_exit_and_kills_fallthrough(self):
+        cfg = build_cfg(
+            fn_body(
+                "def f(c):\n"
+                "    if c:\n"
+                "        return 1\n"
+                "    tail = 2\n"
+            )
+        )
+        ret = node_for(cfg, "return 1")
+        tail = node_for(cfg, "tail = 2")
+        assert EXIT in cfg.succ[ret]
+        assert tail not in cfg.succ[ret]
+
+    def test_loop_back_edge_and_break(self):
+        cfg = build_cfg(
+            fn_body(
+                "def f(xs):\n"
+                "    for x in xs:\n"
+                "        if x:\n"
+                "            break\n"
+                "        y = x\n"
+                "    tail = 1\n"
+            )
+        )
+        head = node_for(cfg, "for x in xs")
+        body = node_for(cfg, "y = x")
+        brk = node_for(cfg, "break")
+        tail = node_for(cfg, "tail = 1")
+        assert head in cfg.succ[body]  # back edge
+        assert tail in cfg.succ[brk]  # break jumps past the loop
+        assert tail in cfg.succ[head]  # zero-iteration exit
+
+    def test_try_body_edges_into_handler(self):
+        cfg = build_cfg(
+            fn_body(
+                "def f():\n"
+                "    try:\n"
+                "        risky = 1\n"
+                "    except ValueError:\n"
+                "        handled = 2\n"
+                "    tail = 3\n"
+            )
+        )
+        risky = node_for(cfg, "risky = 1")
+        handler_entry = node_for(cfg, "except ValueError")
+        handled = node_for(cfg, "handled = 2")
+        # The handler must be reachable both from inside the body (a
+        # raise mid-statement) and from before it (raise before entry).
+        assert handler_entry in cfg.succ[risky]
+        assert handler_entry in cfg.succ[ENTRY]
+        assert handled in cfg.succ[handler_entry]
+
+    def test_unreachable_code_after_raise_is_dropped(self):
+        cfg = build_cfg(
+            fn_body("def f():\n    raise ValueError\n    dead = 1\n")
+        )
+        assert all(
+            stmt is None or "dead" not in ast.unparse(stmt)
+            for stmt in cfg.nodes
+        )
+
+
+class TestBranchPruning:
+    SOURCE = (
+        "def f(table, accountant):\n"
+        "    if accountant is not None:\n"
+        "        accountant.spend('x', 1.0)\n"
+        "    touch = table\n"
+    )
+
+    def test_without_filter_spend_does_not_dominate(self):
+        cfg = build_cfg(fn_body(self.SOURCE))
+        dom = dominators(cfg)
+        spend = node_for(cfg, "accountant.spend")
+        touch = node_for(cfg, "touch = table")
+        assert not dominates(dom, spend, touch)
+
+    def test_not_none_world_prunes_the_else_arm(self):
+        cfg = build_cfg(
+            fn_body(self.SOURCE),
+            branch_filter=none_guard_filter({"accountant"}),
+        )
+        dom = dominators(cfg)
+        spend = node_for(cfg, "accountant.spend")
+        touch = node_for(cfg, "touch = table")
+        assert dominates(dom, spend, touch)
+
+    def test_is_none_guard_prunes_the_body(self):
+        cfg = build_cfg(
+            fn_body(
+                "def f(acc):\n"
+                "    if acc is None:\n"
+                "        dead = 1\n"
+                "    tail = 2\n"
+            ),
+            branch_filter=none_guard_filter({"acc"}),
+        )
+        # The If head node remains (its unparse still shows the body
+        # text), but the pruned arm's statements get no nodes of their own.
+        assert all(
+            stmt is None
+            or not (
+                isinstance(stmt, ast.Assign) and "dead" in ast.unparse(stmt)
+            )
+            for stmt in cfg.nodes
+        )
+
+
+class TestDominators:
+    def test_entry_dominates_everything(self):
+        cfg = build_cfg(fn_body("def f():\n    a = 1\n    b = 2\n"))
+        dom = dominators(cfg)
+        for node in range(len(cfg.nodes)):
+            assert ENTRY in dom[node] or node == ENTRY
+
+    def test_branch_arm_does_not_dominate_the_join(self):
+        cfg = build_cfg(
+            fn_body(
+                "def f(c):\n"
+                "    if c:\n"
+                "        a = 1\n"
+                "    tail = 2\n"
+            )
+        )
+        dom = dominators(cfg)
+        assert not dominates(
+            dom, node_for(cfg, "a = 1"), node_for(cfg, "tail = 2")
+        )
+
+
+class TestReachingDefinitions:
+    def test_redefinition_kills_the_old_def(self):
+        cfg = build_cfg(
+            fn_body("def f():\n    x = 1\n    x = 2\n    use = x\n")
+        )
+        reach = reaching_definitions(cfg)
+        use = node_for(cfg, "use = x")
+        defs = {node for name, node in reach[use] if name == "x"}
+        assert defs == {node_for(cfg, "x = 2")}
+
+    def test_def_inside_loop_reaches_its_own_head(self):
+        cfg = build_cfg(
+            fn_body(
+                "def f(xs):\n"
+                "    for x in xs:\n"
+                "        rng = seed(x)\n"
+                "        draw = rng\n"
+            )
+        )
+        reach = reaching_definitions(cfg)
+        draw = node_for(cfg, "draw = rng")
+        defs = {node for name, node in reach[draw] if name == "rng"}
+        assert defs == {node_for(cfg, "rng = seed(x)")}
+
+    def test_param_defs_come_from_entry(self):
+        cfg = build_cfg(fn_body("def f(rng):\n    use = rng\n"))
+        reach = reaching_definitions(cfg)
+        use = node_for(cfg, "use = rng")
+        # Nothing redefines rng: no def pair for it (callers treat the
+        # empty set as "defined at ENTRY").
+        assert {name for name, _ in reach[use]} == set()
+
+    def test_two_loops_share_one_def_but_not_reseeded(self):
+        shared = build_cfg(
+            fn_body(
+                "def f(rng, xs):\n"
+                "    rng = seed(0)\n"
+                "    for x in xs:\n"
+                "        a = rng\n"
+                "    for x in xs:\n"
+                "        b = rng\n"
+            )
+        )
+        reach = reaching_definitions(shared)
+        defs_a = {
+            n for name, n in reach[node_for(shared, "a = rng")] if name == "rng"
+        }
+        defs_b = {
+            n for name, n in reach[node_for(shared, "b = rng")] if name == "rng"
+        }
+        assert defs_a & defs_b  # one shared def reaches both loops
+
+        reseeded = build_cfg(
+            fn_body(
+                "def f(xs):\n"
+                "    for x in xs:\n"
+                "        rng = seed(1)\n"
+                "        a = rng\n"
+                "    for x in xs:\n"
+                "        rng = seed(2)\n"
+                "        b = rng\n"
+            )
+        )
+        reach = reaching_definitions(reseeded)
+        defs_a = {
+            n
+            for name, n in reach[node_for(reseeded, "a = rng")]
+            if name == "rng"
+        }
+        defs_b = {
+            n
+            for name, n in reach[node_for(reseeded, "b = rng")]
+            if name == "rng"
+        }
+        assert not (defs_a & defs_b)
+
+
+class TestAssignedNames:
+    def test_covers_all_binding_forms(self):
+        forms = {
+            "x = 1": {"x"},
+            "x, (y, z) = value": {"x", "y", "z"},
+            "x += 1": {"x"},
+            "x: int = 1": {"x"},
+            "for i in xs:\n    pass": {"i"},
+            "with open('f') as handle:\n    pass": {"handle"},
+            "if (n := compute()):\n    pass": {"n"},
+        }
+        for source, expected in forms.items():
+            stmt = ast.parse(source).body[0]
+            assert assigned_names(stmt) == expected, source
+
+    def test_nested_function_bodies_are_a_different_scope(self):
+        stmt = ast.parse("def inner():\n    hidden = 1\n").body[0]
+        assert assigned_names(stmt) == set()

@@ -1,0 +1,39 @@
+"""Doc drift: the README rule catalogue must track the registry exactly."""
+
+import re
+from pathlib import Path
+
+from repro.analysis.rules import BAD_PRAGMA_RULE, PARSE_ERROR_RULE, RULES
+
+README = Path(__file__).resolve().parents[2] / "src/repro/analysis/README.md"
+
+#: A catalogue row starts "| `RULEID` |".
+ROW_PATTERN = re.compile(r"^\|\s*`([A-Z]+\d{3})`\s*\|", re.MULTILINE)
+
+
+def test_readme_rule_table_lists_exactly_the_registered_rules():
+    documented = ROW_PATTERN.findall(README.read_text())
+    assert len(documented) == len(set(documented)), "duplicate README rows"
+    assert set(documented) == set(RULES), (
+        "README rule table out of sync with repro.analysis.rules.RULES: "
+        f"missing {set(RULES) - set(documented)}, "
+        f"stale {set(documented) - set(RULES)}"
+    )
+
+
+def test_readme_mentions_the_meta_rules():
+    text = README.read_text()
+    for meta in (PARSE_ERROR_RULE, BAD_PRAGMA_RULE):
+        assert meta in text, f"meta-rule {meta} undocumented"
+
+
+def test_readme_flow_rows_are_marked_as_flow_tier():
+    text = README.read_text()
+    flow_ids = [rule_id for rule_id, rule in RULES.items() if rule.tier == "flow"]
+    assert flow_ids  # the tier exists
+    for rule_id in flow_ids:
+        row = next(
+            line for line in text.splitlines()
+            if line.startswith(f"| `{rule_id}`")
+        )
+        assert "*(flow)*" in row, f"{rule_id} row not marked as flow tier"

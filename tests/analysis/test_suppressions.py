@@ -1,6 +1,9 @@
 """Suppression-pragma and baseline round-trip tests."""
 
+import json
 import textwrap
+
+import pytest
 
 from repro.analysis import (
     analyze_source,
@@ -144,6 +147,39 @@ class TestBaseline:
         # baseline recorded only one: the second stays open.
         assert sorted(f.status for f in after) == ["baselined", "open"]
 
+    def test_identical_lines_write_two_entry_counts(self, tmp_path):
+        """Fingerprint collisions are counted, not deduplicated."""
+        two = BAD_SNIPPET + "rng = np.random.default_rng()\n"
+        findings = analyze_source(two, "pkg/mod.py")
+        assert len(findings) == 2
+        assert findings[0].fingerprint == findings[1].fingerprint
+
+        baseline_file = tmp_path / "baseline.json"
+        entries = write_baseline(baseline_file, findings)
+        assert entries == {findings[0].fingerprint: 2}
+
+        after = apply_baseline(findings, load_baseline(baseline_file))
+        assert [f.status for f in after] == ["baselined", "baselined"]
+
+    def test_editing_one_colliding_line_expires_only_that_occurrence(
+        self, tmp_path
+    ):
+        two = BAD_SNIPPET + "rng = np.random.default_rng()\n"
+        baseline_file = tmp_path / "baseline.json"
+        write_baseline(baseline_file, analyze_source(two, "pkg/mod.py"))
+        baseline = load_baseline(baseline_file)
+
+        # Edit the *second* occurrence: its fingerprint changes, the
+        # first line's entry (count 2, one consumed) still covers line 2.
+        edited = two.replace(
+            "rng = np.random.default_rng()\n" "rng = np.random.default_rng()",
+            "rng = np.random.default_rng()\n"
+            "other = np.random.default_rng()",
+        )
+        after = apply_baseline(analyze_source(edited, "pkg/mod.py"), baseline)
+        by_line = {f.line: f.status for f in after}
+        assert by_line == {2: "baselined", 3: "open"}
+
     def test_fingerprint_ignores_surrounding_whitespace(self):
         assert finding_fingerprint(
             "a.py", "DET001", "  x = hash(y)  "
@@ -151,3 +187,31 @@ class TestBaseline:
 
     def test_missing_baseline_loads_empty(self, tmp_path):
         assert load_baseline(tmp_path / "nope.json") == {}
+
+    def test_write_baseline_is_atomic_under_crash(self, tmp_path, monkeypatch):
+        """A failed rewrite may not tear the existing baseline (satellite:
+        write_baseline routes through serialize.atomic_write_text)."""
+        findings = analyze_source(BAD_SNIPPET, "pkg/mod.py")
+        baseline_file = tmp_path / "baseline.json"
+        write_baseline(baseline_file, findings)
+        before = baseline_file.read_text()
+
+        import repro.core.serialize as serialize
+
+        def boom(src, dst):
+            raise OSError("simulated crash at publish time")
+
+        monkeypatch.setattr(serialize.os, "replace", boom)
+        with pytest.raises(OSError, match="simulated crash"):
+            write_baseline(baseline_file, [])
+        monkeypatch.undo()
+
+        # The old baseline is intact (not truncated/torn) and still loads,
+        # and the failed attempt left no temp litter behind.
+        assert baseline_file.read_text() == before
+        assert load_baseline(baseline_file) == {
+            findings[0].fingerprint: 1
+        }
+        assert [p.name for p in tmp_path.iterdir()] == [baseline_file.name]
+        payload = json.loads(before)
+        assert payload["schema_version"] == 1
